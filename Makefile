@@ -1,0 +1,39 @@
+# Convenience targets for the hybridwf reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench examples experiments soak clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/realtime
+	$(GO) run ./examples/multicore
+	$(GO) run ./examples/adversary
+
+experiments:
+	$(GO) run ./cmd/tracer
+	$(GO) run ./cmd/scaling
+	$(GO) run ./cmd/quantumsweep -p 2 -m 3 -v 1 -seeds 150
+
+soak:
+	$(GO) run ./cmd/soak -seconds 20
+
+clean:
+	$(GO) clean ./...

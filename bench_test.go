@@ -1,0 +1,262 @@
+// Benchmarks regenerating the paper's tables and figures (experiment
+// index E1-E8 in DESIGN.md). Absolute wall-clock times measure the
+// simulator, not the authors' hardware; the meaningful metrics are the
+// reported stmts/op (statement counts inside the simulated system) and
+// their shape across parameters. Run:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+// BenchmarkTable1Point (E1) runs one Fig. 7 consensus per iteration at a
+// representative Table 1 grid point (P=2, C=3, Q above the measured
+// frontier) and reports simulated statements per consensus.
+func BenchmarkTable1Point(b *testing.B) {
+	for _, tc := range []struct{ k, q int }{
+		{0, 64}, {1, 64}, {2, 64},
+	} {
+		b.Run(fmt.Sprintf("P2C%dQ%d", 2+tc.k, tc.q), func(b *testing.B) {
+			var stmts int64
+			for i := 0; i < b.N; i++ {
+				res := runFig7(b, 2, tc.k, 2, 1, tc.q, int64(i))
+				stmts += res.steps
+			}
+			b.ReportMetric(float64(stmts)/float64(b.N), "stmts/consensus")
+		})
+	}
+}
+
+// BenchmarkFig3Consensus (E3, Theorem 1) runs Fig. 3 uniprocessor
+// consensus across process counts; stmts/op must stay exactly 8.
+func BenchmarkFig3Consensus(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			var worst int64
+			for i := 0; i < b.N; i++ {
+				pts := bench.Fig3Scaling([]int{n}, int64(i))
+				if pts[0].Stmts > worst {
+					worst = pts[0].Stmts
+				}
+			}
+			b.ReportMetric(float64(worst), "stmts/op")
+		})
+	}
+}
+
+// BenchmarkFig5CAS (E4, Theorem 2) runs the Fig. 5 C&S counter workload
+// across priority-level counts; stmts/op must grow linearly in V.
+func BenchmarkFig5CAS(b *testing.B) {
+	for _, v := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("V%d", v), func(b *testing.B) {
+			var worst int64
+			for i := 0; i < b.N; i++ {
+				pts := bench.Fig5Scaling([]int{v}, 4, 2, int64(i))
+				if pts[0].Stmts > worst {
+					worst = pts[0].Stmts
+				}
+			}
+			b.ReportMetric(float64(worst), "stmts/op")
+		})
+	}
+}
+
+// BenchmarkFig7Scaling (E5, Theorem 4 / Fig. 8) runs full multiprocessor
+// consensus across M; stmts/op must grow polynomially (L is linear in
+// M).
+func BenchmarkFig7Scaling(b *testing.B) {
+	for _, m := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) {
+			var worst int64
+			for i := 0; i < b.N; i++ {
+				pts := bench.Fig7Scaling([]int{m}, 2, 1, 1, 2048, int64(i))
+				if pts[0].Stmts > worst {
+					worst = pts[0].Stmts
+				}
+			}
+			b.ReportMetric(float64(worst), "stmts/op")
+		})
+	}
+}
+
+// BenchmarkFig9Fair (E7, §5) runs the fair-scheduling variant at the
+// constant quantum Q=8.
+func BenchmarkFig9Fair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := repro.NewSystem(repro.Config{
+			Processors: 2, Quantum: 8,
+			Chooser: repro.NewRandomScheduler(int64(i)), MaxSteps: 1 << 22,
+		})
+		alg := repro.NewFairConsensus("f9", 2, 1, 0)
+		outs := make([]repro.Word, 6)
+		for j := 0; j < 6; j++ {
+			me := j
+			sys.AddProcess(repro.ProcSpec{Processor: j % 2, Priority: 1}).
+				AddInvocation(func(c *repro.Ctx) { outs[me] = alg.Decide(c, repro.Word(me+1)) })
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if o != outs[0] {
+				b.Fatalf("disagreement: %v", outs)
+			}
+		}
+	}
+}
+
+// BenchmarkLowerBoundSearch (E6, Theorem 3) measures how fast the
+// budgeted explorer finds a quantum violation in Fig. 3 at Q=2.
+func BenchmarkLowerBoundSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := repro.ExploreBudget(fig3BadQBuilder(), 3,
+			repro.ExploreOptions{StopAtFirst: true})
+		if res.OK() {
+			b.Fatal("no violation found at Q=2")
+		}
+	}
+}
+
+// BenchmarkUniversalCounter exercises the read/write universal object
+// (the Theorem 1 universality layer) under contention.
+func BenchmarkUniversalCounter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := repro.NewSystem(repro.Config{
+			Processors: 1, Quantum: repro.RecommendedQuantum,
+			Chooser: repro.NewRandomScheduler(int64(i)),
+		})
+		ctr := repro.NewCounter("ctr", 0)
+		for j := 0; j < 4; j++ {
+			p := sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1 + j%2})
+			for k := 0; k < 4; k++ {
+				p.AddInvocation(func(c *repro.Ctx) { ctr.Inc(c) })
+			}
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if ctr.Peek() != 16 {
+			b.Fatalf("final = %d", ctr.Peek())
+		}
+	}
+}
+
+// BenchmarkWaitFreeVsLock (E8 flavor) contrasts the wait-free counter
+// with the lock-based baseline under a benign scheduler (the only
+// regime where the lock completes at all).
+func BenchmarkWaitFreeVsLock(b *testing.B) {
+	b.Run("waitfree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := repro.NewSystem(repro.Config{Processors: 1, Quantum: 64,
+				Chooser: repro.NewRunToCompletionScheduler()})
+			ctr := repro.NewCounter("ctr", 0)
+			for j := 0; j < 4; j++ {
+				p := sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1})
+				for k := 0; k < 4; k++ {
+					p.AddInvocation(func(c *repro.Ctx) { ctr.Inc(c) })
+				}
+			}
+			if err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := repro.NewSystem(repro.Config{Processors: 1, Quantum: 64,
+				Chooser: repro.NewRunToCompletionScheduler()})
+			ctr := repro.NewLockCounter("lk", 0)
+			for j := 0; j < 4; j++ {
+				p := sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1})
+				for k := 0; k < 4; k++ {
+					p.AddInvocation(func(c *repro.Ctx) { ctr.Inc(c) })
+				}
+			}
+			if err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulator measures raw simulator statement throughput — the
+// substrate cost underlying every other number here.
+func BenchmarkSimulator(b *testing.B) {
+	sys := repro.NewSystem(repro.Config{Processors: 1, Quantum: 8, MaxSteps: 1 << 62})
+	r := repro.NewReg("r")
+	p := sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1})
+	n := b.N
+	p.AddInvocation(func(c *repro.Ctx) {
+		for i := 0; i < n; i++ {
+			c.Write(r, repro.Word(i))
+		}
+	})
+	b.ResetTimer()
+	if err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type fig7Run struct{ steps int64 }
+
+func runFig7(b *testing.B, p, k, m, v, q int, seed int64) fig7Run {
+	b.Helper()
+	sys := repro.NewSystem(repro.Config{
+		Processors: p, Quantum: q,
+		Chooser: repro.NewRandomScheduler(seed), MaxSteps: 1 << 23,
+	})
+	alg := repro.NewMultiConsensus(repro.MultiConsensusConfig{
+		Name: "b", P: p, K: k, M: m, V: v,
+	})
+	n := p * m
+	outs := make([]repro.Word, n)
+	id := 0
+	for i := 0; i < p; i++ {
+		for j := 0; j < m; j++ {
+			me := id
+			sys.AddProcess(repro.ProcSpec{Processor: i, Priority: 1 + j%v}).
+				AddInvocation(func(c *repro.Ctx) { outs[me] = alg.Decide(c, repro.Word(me+1)) })
+			id++
+		}
+	}
+	if err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range outs {
+		if o != outs[0] || o == repro.Bottom {
+			b.Fatalf("disagreement: %v", outs)
+		}
+	}
+	return fig7Run{steps: sys.Steps()}
+}
+
+func fig3BadQBuilder() repro.Builder {
+	return func(ch repro.Scheduler) (*repro.System, repro.Verify) {
+		sys := repro.NewSystem(repro.Config{Processors: 1, Quantum: 2, Chooser: ch, MaxSteps: 1 << 16})
+		obj := repro.NewConsensus("cons")
+		outs := make([]repro.Word, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *repro.Ctx) { outs[i] = obj.Decide(c, repro.Word(i+1)) })
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			for _, o := range outs {
+				if o != outs[0] {
+					return fmt.Errorf("disagreement: %v", outs)
+				}
+			}
+			return nil
+		}
+		return sys, verify
+	}
+}

@@ -1,0 +1,129 @@
+// Command checker model-checks the paper's algorithms over schedule
+// space: exhaustively for tiny configurations, with a context-switch
+// deviation budget or random fuzzing for larger ones.
+//
+// Usage:
+//
+//	checker -alg fig3 -n 2 -q 8 -mode all
+//	checker -alg fig3 -n 3 -q 2 -mode budget -budget 3   # finds the Q<8 violation
+//	checker -alg fig7 -p 2 -q 2048 -mode fuzz -seeds 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/multicons"
+	"repro/internal/sim"
+	"repro/internal/unicons"
+)
+
+func main() {
+	var (
+		alg    = flag.String("alg", "fig3", "algorithm: fig3|fig7")
+		n      = flag.Int("n", 2, "processes (fig3)")
+		v      = flag.Int("v", 1, "priority levels")
+		p      = flag.Int("p", 2, "processors (fig7)")
+		k      = flag.Int("k", 0, "C = P+K (fig7)")
+		m      = flag.Int("m", 1, "processes per processor (fig7)")
+		q      = flag.Int("q", 8, "scheduling quantum")
+		mode   = flag.String("mode", "budget", "exploration: all|budget|fuzz")
+		budget = flag.Int("budget", 3, "context-switch deviation budget")
+		seeds  = flag.Int("seeds", 500, "fuzz seeds")
+		maxSch = flag.Int("max", 200000, "schedule cap")
+	)
+	flag.Parse()
+
+	var build check.Builder
+	switch *alg {
+	case "fig3":
+		build = fig3Builder(*n, *v, *q)
+	case "fig7":
+		build = fig7Builder(multicons.Config{Name: "f7", P: *p, K: *k, M: *m, V: *v}, *q)
+	default:
+		fmt.Fprintf(os.Stderr, "checker: unknown -alg %q\n", *alg)
+		os.Exit(2)
+	}
+
+	opts := check.Options{MaxSchedules: *maxSch}
+	var res *check.Result
+	switch *mode {
+	case "all":
+		res = check.ExploreAll(build, opts)
+	case "budget":
+		res = check.ExploreBudget(build, *budget, opts)
+	case "fuzz":
+		res = check.Fuzz(build, *seeds, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "checker: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	fmt.Printf("explored %d schedules (truncated=%v)\n", res.Schedules, res.Truncated)
+	if res.OK() {
+		fmt.Println("no violations found")
+		return
+	}
+	fmt.Printf("VIOLATIONS: %d\n", len(res.Violations))
+	for _, viol := range res.Violations {
+		fmt.Printf("  %s: %v\n", viol.Schedule, viol.Err)
+	}
+	os.Exit(1)
+}
+
+func fig3Builder(n, v, q int) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: q, Chooser: ch, MaxSteps: 1 << 18})
+		obj := unicons.New("cons")
+		outs := make([]mem.Word, n)
+		for i := 0; i < n; i++ {
+			i := i
+			pri := 1
+			if v > 1 {
+				pri = 1 + i%v
+			}
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: pri}).
+				AddInvocation(func(c *sim.Ctx) { outs[i] = obj.Decide(c, mem.Word(i+1)) })
+		}
+		return sys, verifyAgreement(outs)
+	}
+}
+
+func fig7Builder(cfg multicons.Config, q int) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: cfg.P, Quantum: q, Chooser: ch, MaxSteps: 1 << 23})
+		alg := multicons.New(cfg)
+		n := cfg.P * cfg.M
+		outs := make([]mem.Word, n)
+		id := 0
+		for i := 0; i < cfg.P; i++ {
+			for j := 0; j < cfg.M; j++ {
+				me := id
+				sys.AddProcess(sim.ProcSpec{Processor: i, Priority: 1 + j%cfg.V}).
+					AddInvocation(func(c *sim.Ctx) { outs[me] = alg.Decide(c, mem.Word(me+1)) })
+				id++
+			}
+		}
+		return sys, verifyAgreement(outs)
+	}
+}
+
+func verifyAgreement(outs []mem.Word) check.Verify {
+	return func(runErr error) error {
+		if runErr != nil {
+			return fmt.Errorf("run failed: %w", runErr)
+		}
+		for i, o := range outs {
+			if o == mem.Bottom {
+				return fmt.Errorf("process %d decided ⊥", i)
+			}
+			if o != outs[0] {
+				return fmt.Errorf("agreement violated: %v", outs)
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,43 @@
+// Command quantumsweep regenerates the paper's Table 1 empirically
+// (experiment E1): for each consensus number C = P..2P it sweeps the
+// scheduling quantum under an adversarial schedule battery and reports
+// the largest failing and smallest working quantum.
+//
+// Usage:
+//
+//	quantumsweep -p 2 -m 3 -v 1 -seeds 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		p     = flag.Int("p", 2, "processors")
+		m     = flag.Int("m", 3, "processes per processor")
+		v     = flag.Int("v", 1, "priority levels")
+		seeds = flag.Int("seeds", 150, "random schedules per battery")
+		grid  = flag.String("grid", "", "comma-separated quantum grid (default built-in)")
+	)
+	flag.Parse()
+
+	var qGrid []int
+	if *grid != "" {
+		for _, s := range strings.Split(*grid, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Printf("quantumsweep: bad grid entry %q: %v\n", s, err)
+				return
+			}
+			qGrid = append(qGrid, q)
+		}
+	}
+	rows := bench.Table1Sweep(*p, *m, *v, *seeds, qGrid)
+	fmt.Print(bench.RenderTable1(*p, *m, *v, rows))
+}

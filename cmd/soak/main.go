@@ -1,0 +1,129 @@
+// Command soak stress-tests the full object stack for a configurable
+// duration: randomized schedules over mixed workloads (Fig. 3 consensus,
+// Fig. 5 C&S with and without reclamation, level-local objects,
+// universal counter/queue/stack, Fig. 7 consensus), verifying every
+// run's invariants. Exit status is non-zero on the first violation.
+//
+// Usage:
+//
+//	soak -seconds 30
+//	soak -runs 500        # fixed run count instead of a time budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		seconds = flag.Int("seconds", 10, "time budget (ignored when -runs > 0)")
+		runs    = flag.Int("runs", 0, "fixed number of runs (0 = use -seconds)")
+		seed    = flag.Int64("seed", time.Now().UnixNano(), "base seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	done := 0
+	fmt.Printf("soak: base seed %d\n", *seed)
+	for {
+		if *runs > 0 && done >= *runs {
+			break
+		}
+		if *runs == 0 && time.Now().After(deadline) {
+			break
+		}
+		if err := oneRun(rng); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: FAILED after %d runs: %v\n", done, err)
+			os.Exit(1)
+		}
+		done++
+	}
+	fmt.Printf("soak: %d runs clean\n", done)
+}
+
+// oneRun builds a random mixed workload and verifies it.
+func oneRun(rng *rand.Rand) error {
+	n := 2 + rng.Intn(6)
+	levels := 1 + rng.Intn(3)
+	quantum := repro.RecommendedQuantum + rng.Intn(32)
+	seed := rng.Int63()
+
+	aud := repro.NewAuditor(quantum)
+	sys := repro.NewSystem(repro.Config{
+		Processors: 1,
+		Quantum:    quantum,
+		Chooser:    repro.NewRandomScheduler(seed),
+		MaxSteps:   1 << 22,
+		Observer:   aud,
+	})
+	cons := repro.NewConsensus("cons")
+	cas := repro.NewReclaimingCAS("cas", levels, 0, 2)
+	ctr := repro.NewCounter("ctr", 0)
+	q := repro.NewQueue("q")
+
+	consOuts := make([]repro.Word, n)
+	incs := 0
+	enqs, deqs := 0, 0
+
+	for i := 0; i < n; i++ {
+		i := i
+		p := sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1 + i%levels})
+		p.AddInvocation(func(c *repro.Ctx) {
+			consOuts[i] = cons.Decide(c, repro.Word(i+1))
+		})
+		ops := 1 + rng.Intn(3)
+		for k := 0; k < ops; k++ {
+			switch rng.Intn(4) {
+			case 0:
+				p.AddInvocation(func(c *repro.Ctx) {
+					for {
+						v := cas.Read(c)
+						if cas.CompareAndSwap(c, v, v+1) {
+							incs++
+							return
+						}
+					}
+				})
+			case 1:
+				p.AddInvocation(func(c *repro.Ctx) {
+					ctr.Inc(c)
+					incs++
+				})
+			case 2:
+				p.AddInvocation(func(c *repro.Ctx) {
+					q.Enq(c, repro.Word(i))
+					enqs++
+				})
+			default:
+				p.AddInvocation(func(c *repro.Ctx) {
+					if q.Deq(c) != repro.QueueEmpty {
+						deqs++
+					}
+				})
+			}
+		}
+	}
+	if err := sys.Run(); err != nil {
+		return fmt.Errorf("seed %d: run: %w", seed, err)
+	}
+	for i, v := range consOuts {
+		if v != consOuts[0] || v == repro.Bottom {
+			return fmt.Errorf("seed %d: consensus disagreement at %d: %v", seed, i, consOuts)
+		}
+	}
+	if deqs+q.PeekLen() != enqs {
+		return fmt.Errorf("seed %d: queue lost items: %d deq + %d left != %d enq",
+			seed, deqs, q.PeekLen(), enqs)
+	}
+	if err := aud.Err(); err != nil {
+		return fmt.Errorf("seed %d: %w", seed, err)
+	}
+	return nil
+}

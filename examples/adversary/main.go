@@ -1,0 +1,157 @@
+// Adversary: why the quantum bounds in Table 1 are real.
+//
+// Three demonstrations of the paper's negative results:
+//
+//  1. Theorem 1's premise: the Fig. 3 read/write consensus breaks when
+//     the quantum drops below 8 statements — the exhaustive explorer
+//     exhibits a concrete disagreement schedule.
+//  2. The Theorem 3 mechanism: a C-consensus object gives the (C+1)-th
+//     invoker nothing (⊥). The lower-bound proof staggers quanta so that
+//     2P−Q processes pile onto one object; here the pile-up is shown
+//     directly.
+//  3. The §1 motivation: blocking synchronization deadlocks under hybrid
+//     scheduling (priority inversion), while the paper's wait-free
+//     objects keep going.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	demoSmallQuantumBreaksConsensus()
+	demoConsensusNumberExhaustion()
+	demoPriorityInversion()
+}
+
+// demoSmallQuantumBreaksConsensus searches schedules of the Fig. 3
+// algorithm at Q=2 and prints the violating schedule it finds.
+func demoSmallQuantumBreaksConsensus() {
+	fmt.Println("=== 1. Fig. 3 consensus with Q=2 (< 8): adversary finds disagreement ===")
+	build := func(ch repro.Scheduler) (*repro.System, repro.Verify) {
+		sys := repro.NewSystem(repro.Config{Processors: 1, Quantum: 2, Chooser: ch, MaxSteps: 1 << 16})
+		obj := repro.NewConsensus("cons")
+		outs := make([]repro.Word, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *repro.Ctx) { outs[i] = obj.Decide(c, repro.Word(i+1)) })
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			for _, o := range outs {
+				if o != outs[0] {
+					return fmt.Errorf("disagreement: %v", outs)
+				}
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := repro.ExploreBudget(build, 3, repro.ExploreOptions{StopAtFirst: true})
+	if res.OK() {
+		log.Fatal("expected a violation at Q=2")
+	}
+	fmt.Printf("after %d schedules: %v\n    at %s\n", res.Schedules, res.First().Err, res.First().Schedule)
+	fmt.Printf("(at Q >= %d the same search finds nothing — Theorem 1)\n\n", repro.MinQuantumConsensus)
+}
+
+// demoConsensusNumberExhaustion shows 2P−Q processes exhausting a
+// C-consensus object, the engine of the Theorem 3 lower bound.
+func demoConsensusNumberExhaustion() {
+	const (
+		p = 3       // processors
+		c = 4       // object's consensus number, P <= C < 2P
+		q = 2*p - c // quantum at the lower bound: 2P−C = 2
+	)
+	fmt.Printf("=== 2. Theorem 3 mechanism: P=%d, C=%d, Q=%d=2P−C ===\n", p, c, q)
+	sys := repro.NewSystem(repro.Config{
+		Processors: p,
+		Quantum:    q,
+		Chooser:    repro.NewStaggerScheduler(q, 0), // the proof's staggered adversary
+	})
+	obj := repro.NewConsObject("O", c)
+	// In the proof, 2P−Q processes invoke O before the final process
+	// p₂ᴾ does — its invocation is the (2P−Q+1)-th, exceeding C.
+	n := 2*p - q + 1
+	outs := make([]repro.Word, n)
+	for i := 0; i < n; i++ {
+		i := i
+		sys.AddProcess(repro.ProcSpec{Processor: i % p, Priority: 1}).
+			AddInvocation(func(cx *repro.Ctx) { outs[i] = cx.CCons(obj, repro.Word(i+1)) })
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	bottoms := 0
+	for _, o := range outs {
+		if o == repro.Bottom {
+			bottoms++
+		}
+	}
+	fmt.Printf("%d processes invoked the %d-consensus object; %d learned nothing (⊥)\n", n, c, bottoms)
+	fmt.Printf("responses: %v\n", outs)
+	fmt.Println("an algorithm cannot decide through an object its own processes exhaust —")
+	fmt.Printf("hence consensus is impossible with Q <= 2P−C (Theorem 3).\n\n")
+}
+
+// demoPriorityInversion contrasts a blocking counter (deadlocks) with
+// the paper's wait-free counter (completes) under the same schedule.
+func demoPriorityInversion() {
+	fmt.Println("=== 3. Blocking vs wait-free under priority preemption ===")
+
+	// A scheduler that runs the low-priority task just long enough to
+	// enter its critical section, then releases the high-priority task.
+	inversion := func() repro.Scheduler {
+		steps := 0
+		return repro.SchedulerFunc(func(d repro.Decision) int {
+			steps++
+			for i, p := range d.Candidates {
+				if (steps <= 2) == (p.Priority() == 1) {
+					return i
+				}
+			}
+			return 0
+		})
+	}
+
+	// Wait-free counter: completes.
+	sys := repro.NewSystem(repro.Config{
+		Processors: 1, Quantum: repro.RecommendedQuantum,
+		Chooser: inversion(), MaxSteps: 50000,
+	})
+	ctr := repro.NewCounter("wf", 0)
+	sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1, Name: "lo"}).
+		AddInvocation(func(c *repro.Ctx) { ctr.Inc(c) })
+	sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 2, Name: "hi"}).
+		AddInvocation(func(c *repro.Ctx) { ctr.Inc(c) })
+	err := sys.Run()
+	fmt.Printf("wait-free counter: err=%v final=%d — both tasks completed\n", err, ctr.Peek())
+	if err != nil {
+		log.Fatal("wait-free counter should have completed")
+	}
+
+	// The same scenario with a lock-based counter livelocks: the high-
+	// priority task spins on a lock held by the preempted low-priority
+	// task, which can never run again (Axiom 1).
+	sys2 := repro.NewSystem(repro.Config{
+		Processors: 1, Quantum: repro.RecommendedQuantum,
+		Chooser: inversion(), MaxSteps: 50000,
+	})
+	lk := repro.NewLockCounter("lk", 0)
+	sys2.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1, Name: "lo"}).
+		AddInvocation(func(c *repro.Ctx) { lk.Inc(c) })
+	sys2.AddProcess(repro.ProcSpec{Processor: 0, Priority: 2, Name: "hi"}).
+		AddInvocation(func(c *repro.Ctx) { lk.Inc(c) })
+	err = sys2.Run()
+	fmt.Printf("lock-based counter: err=%v final=%d — priority inversion livelocked\n", err, lk.Peek())
+	if !errors.Is(err, repro.ErrStepLimit) {
+		log.Fatal("lock-based counter should have hit the step limit")
+	}
+}

@@ -1,0 +1,93 @@
+// Multicore: consensus-number-P objects are universal on P processors.
+//
+// Herlihy's hierarchy says an object with consensus number C supports
+// wait-free consensus among at most C processes. The paper's Theorem 4
+// shows that in a hybrid-scheduled multiprogrammed system the relevant
+// quantity is the number of PROCESSORS, not processes: with a large
+// enough quantum, (P+K)-consensus objects solve consensus — and hence
+// implement any object — for arbitrarily many processes on P processors.
+//
+// This example runs 12 processes on 3 processors (two priority levels
+// each) that first reach system-wide consensus through Fig. 7 using
+// 4-consensus objects (C = P+K = 3+1), then hammer a shared wait-free
+// counter whose every state transition is itself a Fig. 7 consensus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		processors = 3
+		perProc    = 4
+		k          = 1 // C = P + K = 4 < 12 processes
+	)
+
+	cfg := repro.MultiConsensusConfig{
+		Name: "cluster", P: processors, K: k, M: perProc, V: 2,
+	}
+	sys := repro.NewSystem(repro.Config{
+		Processors: processors,
+		Quantum:    4096, // Table 1: Q >= c(2P+1-C) = 3c here
+		Chooser:    repro.NewRandomScheduler(3),
+		MaxSteps:   1 << 24,
+	})
+
+	// Phase 1: leader election via Fig. 7 — every process proposes
+	// itself; all must agree although the consensus objects only have
+	// consensus number 4.
+	election := repro.NewMultiConsensus(cfg)
+	n := processors * perProc
+	leaders := make([]repro.Word, n)
+
+	// Phase 2: a shared multiprocessor counter (universal construction
+	// over per-slot Fig. 7 instances).
+	tally := repro.NewMultiCounter(repro.MultiConsensusConfig{
+		Name: "tally", P: processors, K: k, M: perProc, V: 2,
+	}, 0)
+	tickets := make([]repro.Word, n)
+
+	id := 0
+	for proc := 0; proc < processors; proc++ {
+		for j := 0; j < perProc; j++ {
+			me := id
+			p := sys.AddProcess(repro.ProcSpec{
+				Processor: proc,
+				Priority:  1 + j%2,
+				Name:      fmt.Sprintf("node%d.%d", proc, j),
+			})
+			p.AddInvocation(func(c *repro.Ctx) {
+				leaders[me] = election.Decide(c, repro.Word(me+1))
+			})
+			p.AddInvocation(func(c *repro.Ctx) {
+				tickets[me] = tally.Inc(c)
+			})
+			id++
+		}
+	}
+
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("election (N=%d processes, C=%d objects): leader = %d\n", n, processors+k, leaders[0])
+	for i, l := range leaders {
+		if l != leaders[0] {
+			log.Fatalf("process %d disagrees: %d vs %d", i, l, leaders[0])
+		}
+	}
+	fmt.Printf("all %d processes agree — universality beyond the consensus number.\n", n)
+
+	seen := map[repro.Word]bool{}
+	for _, t := range tickets {
+		if seen[t] {
+			log.Fatalf("duplicate ticket %d", t)
+		}
+		seen[t] = true
+	}
+	fmt.Printf("multiprocessor counter: %d unique tickets, final=%d\n", len(seen), tally.Peek())
+}

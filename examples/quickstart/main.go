@@ -1,0 +1,67 @@
+// Quickstart: wait-free synchronization from reads and writes only.
+//
+// Eight processes across three priority levels share one
+// hybrid-scheduled processor (like threads under QNX/IRIX/VxWorks-style
+// schedulers). They coordinate through a wait-free counter built purely
+// from reads and writes — no locks, no hardware atomics — which is
+// exactly what the paper proves possible once the scheduler guarantees a
+// quantum of at least 8 statements between same-priority preemptions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		processes = 8
+		levels    = 3
+		opsEach   = 5
+	)
+
+	sys := repro.NewSystem(repro.Config{
+		Processors: 1,
+		Quantum:    repro.RecommendedQuantum,
+		Chooser:    repro.NewRandomScheduler(42),
+	})
+
+	counter := repro.NewCounter("hits", 0)
+	got := make([][]repro.Word, processes)
+
+	for i := 0; i < processes; i++ {
+		i := i
+		p := sys.AddProcess(repro.ProcSpec{
+			Processor: 0,
+			Priority:  1 + i%levels,
+			Name:      fmt.Sprintf("worker%d", i),
+		})
+		for k := 0; k < opsEach; k++ {
+			p.AddInvocation(func(c *repro.Ctx) {
+				// Inc is wait-free: it completes in a bounded number of
+				// this process's own statements no matter how the
+				// scheduler preempts it.
+				got[i] = append(got[i], counter.Inc(c))
+			})
+		}
+	}
+
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("final counter: %d (want %d)\n", counter.Peek(), processes*opsEach)
+	seen := map[repro.Word]bool{}
+	for i, vals := range got {
+		fmt.Printf("worker%d tickets: %v\n", i, vals)
+		for _, v := range vals {
+			if seen[v] {
+				log.Fatalf("ticket %d issued twice — not linearizable!", v)
+			}
+			seen[v] = true
+		}
+	}
+	fmt.Println("every ticket issued exactly once: the counter linearized.")
+}

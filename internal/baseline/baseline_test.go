@@ -1,0 +1,122 @@
+package baseline_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestNaiveBreaks is the negative control: the quantum-oblivious
+// protocol must violate agreement on some schedule even with a huge
+// quantum (a process's first preemption can happen at any time).
+func TestNaiveBreaks(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 1 << 16, Chooser: ch, MaxSteps: 1 << 14})
+		n := baseline.NewNaive("naive")
+		outs := make([]mem.Word, 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *sim.Ctx) { outs[i] = n.Decide(c, mem.Word(i+1)) })
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			if outs[0] != outs[1] {
+				return fmt.Errorf("disagreement: %v", outs)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.ExploreBudget(build, 2, check.Options{StopAtFirst: true})
+	if res.OK() {
+		t.Fatal("naive consensus survived all schedules; negative control broken")
+	}
+	t.Logf("found expected violation after %d schedules: %v", res.Schedules, res.First().Err)
+}
+
+// TestDirectExhaustion checks the Herlihy-hierarchy baseline: the
+// (C+1)-th invoker of a C-consensus object learns nothing.
+func TestDirectExhaustion(t *testing.T) {
+	const c, n = 3, 5
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 8})
+	d := baseline.NewDirect("direct", c)
+	outs := make([]mem.Word, n)
+	for i := 0; i < n; i++ {
+		i := i
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(cx *sim.Ctx) { outs[i] = d.Decide(cx, mem.Word(i+1)) })
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bottoms := 0
+	for _, v := range outs {
+		if v == mem.Bottom {
+			bottoms++
+		}
+	}
+	if bottoms != n-c {
+		t.Fatalf("⊥ responses = %d, want %d (invocations=%d)", bottoms, n-c, d.Invocations())
+	}
+}
+
+// TestLockCounterWorksUncontended confirms the lock baseline is correct
+// when nothing goes wrong (sequential run-to-completion schedule).
+func TestLockCounterWorksUncontended(t *testing.T) {
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 64})
+	l := baseline.NewLockCounter("lk", 0)
+	for i := 0; i < 4; i++ {
+		p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+		for k := 0; k < 3; k++ {
+			p.AddInvocation(func(c *sim.Ctx) { l.Inc(c) })
+		}
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := l.Peek(); got != 12 {
+		t.Fatalf("final = %d, want 12", got)
+	}
+}
+
+// TestLockPriorityInversionDeadlocks demonstrates the paper's §1
+// motivation: a low-priority process preempted inside the critical
+// section starves a spinning higher-priority waiter forever. The run
+// must hit the step limit (livelock), which a wait-free counter never
+// does.
+func TestLockPriorityInversionDeadlocks(t *testing.T) {
+	// Chooser: let the low-priority process acquire the lock (3
+	// statements: CAS + read), then release the high-priority process,
+	// which spins forever.
+	steps := 0
+	ch := sim.ChooserFunc(func(d sim.Decision) int {
+		steps++
+		for i, p := range d.Candidates {
+			if steps <= 2 && p.Priority() == 1 {
+				return i
+			}
+			if steps > 2 && p.Priority() == 2 {
+				return i
+			}
+		}
+		return 0
+	})
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 8, Chooser: ch, MaxSteps: 5000})
+	l := baseline.NewLockCounter("lk", 0)
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: "lo"}).
+		AddInvocation(func(c *sim.Ctx) { l.Inc(c) })
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 2, Name: "hi"}).
+		AddInvocation(func(c *sim.Ctx) { l.Inc(c) })
+	err := sys.Run()
+	if !errors.Is(err, sim.ErrStepLimit) {
+		t.Fatalf("Run = %v, want ErrStepLimit (priority-inversion livelock)", err)
+	}
+}

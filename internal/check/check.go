@@ -1,0 +1,198 @@
+// Package check provides schedule-space exploration and property
+// checking for algorithms running on the internal/sim simulator.
+//
+// Three strategies are offered:
+//
+//   - ExploreAll: exhaustive DFS over every scheduling decision — the
+//     full schedule tree. Feasible only for very small configurations.
+//   - ExploreBudget: exhaustive DFS over schedules that deviate from the
+//     default run-to-completion schedule in at most B places. For
+//     quantum/priority-scheduled algorithms all interesting behaviour is
+//     triggered by preemptions, so a small deviation budget covers the
+//     cases the paper's proofs reason about (e.g. "at most one quantum
+//     preemption per invocation").
+//   - Fuzz: many seeded pseudo-random schedules.
+//
+// Each run is built fresh by a Builder, executed, and then verified by
+// the Verify function the builder returned; violations are collected
+// with a replayable description of the offending schedule.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Verify checks the outcome of one completed run. runErr is the error
+// returned by System.Run (nil, ErrStepLimit, or a process panic); the
+// verifier decides what constitutes a violation and returns a non-nil
+// error for one.
+type Verify func(runErr error) error
+
+// Builder constructs a fresh system (with fresh shared objects) wired to
+// the given chooser, returning the system and its outcome verifier.
+type Builder func(ch sim.Chooser) (*sim.System, Verify)
+
+// Options bounds an exploration.
+type Options struct {
+	// MaxSchedules caps the number of schedules executed (0 = 200000).
+	MaxSchedules int
+	// StopAtFirst stops at the first violation when true.
+	StopAtFirst bool
+	// MaxViolations caps recorded violations (0 = 16).
+	MaxViolations int
+}
+
+func (o Options) maxSchedules() int {
+	if o.MaxSchedules <= 0 {
+		return 200000
+	}
+	return o.MaxSchedules
+}
+
+func (o Options) maxViolations() int {
+	if o.MaxViolations <= 0 {
+		return 16
+	}
+	return o.MaxViolations
+}
+
+// Violation describes one failed run.
+type Violation struct {
+	// Schedule is a replayable description of the offending schedule.
+	Schedule string
+	// Err is the verifier's error.
+	Err error
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Schedules is the number of schedules executed.
+	Schedules int
+	// Violations holds recorded violations (capped).
+	Violations []Violation
+	// Truncated reports whether MaxSchedules cut the exploration short.
+	Truncated bool
+}
+
+// OK reports whether no violation was found.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// First returns the first violation, or nil.
+func (r *Result) First() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+func (r *Result) add(opts Options, schedule string, err error) (stop bool) {
+	if len(r.Violations) < opts.maxViolations() {
+		r.Violations = append(r.Violations, Violation{Schedule: schedule, Err: err})
+	}
+	return opts.StopAtFirst
+}
+
+// ExploreAll exhaustively enumerates the full schedule tree (every
+// choice at every decision point) up to opts.MaxSchedules schedules.
+func ExploreAll(build Builder, opts Options) *Result {
+	res := &Result{}
+	var prefix []int
+	for {
+		if res.Schedules >= opts.maxSchedules() {
+			res.Truncated = true
+			return res
+		}
+		script := &sched.Script{Decisions: prefix}
+		sys, verify := build(script)
+		runErr := sys.Run()
+		res.Schedules++
+		if verr := verify(runErr); verr != nil {
+			if res.add(opts, fmt.Sprintf("decisions=%v", prefix), verr) {
+				return res
+			}
+		}
+		// Compute the full decision vector this run took (prefix, then
+		// implicit zeros), and advance it lexicographically.
+		taken := make([]int, len(script.Fanouts))
+		copy(taken, prefix)
+		i := len(taken) - 1
+		for i >= 0 && taken[i]+1 >= script.Fanouts[i] {
+			i--
+		}
+		if i < 0 {
+			return res
+		}
+		prefix = append(taken[:i:i], taken[i]+1)
+	}
+}
+
+// ExploreBudget exhaustively enumerates schedules that deviate from the
+// default continue-current-process schedule in at most budget decision
+// points. Deviation points are discovered lazily and placed in
+// increasing order, so every ≤budget-deviation schedule is covered
+// exactly once.
+func ExploreBudget(build Builder, budget int, opts Options) *Result {
+	res := &Result{}
+	var rec func(switches map[int64]int, minIndex int64, budget int) (stop bool)
+	rec = func(switches map[int64]int, minIndex int64, budget int) bool {
+		if res.Schedules >= opts.maxSchedules() {
+			res.Truncated = true
+			return true
+		}
+		ch := &sched.BudgetedSwitch{SwitchAt: switches}
+		sys, verify := build(ch)
+		runErr := sys.Run()
+		res.Schedules++
+		if verr := verify(runErr); verr != nil {
+			if res.add(opts, fmt.Sprintf("switches=%v", switches), verr) {
+				return true
+			}
+		}
+		if budget == 0 {
+			return false
+		}
+		fanouts := ch.Fanouts
+		taken := ch.Taken
+		for d := minIndex; d < int64(len(fanouts)); d++ {
+			for choice := 0; choice < fanouts[d]; choice++ {
+				if choice == taken[d] {
+					continue
+				}
+				next := make(map[int64]int, len(switches)+1)
+				for k, v := range switches {
+					next[k] = v
+				}
+				next[d] = choice
+				if rec(next, d+1, budget-1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	rec(map[int64]int{}, 0, budget)
+	return res
+}
+
+// Fuzz runs nSeeds seeded pseudo-random schedules.
+func Fuzz(build Builder, nSeeds int, opts Options) *Result {
+	res := &Result{}
+	for seed := 0; seed < nSeeds; seed++ {
+		if res.Schedules >= opts.maxSchedules() {
+			res.Truncated = true
+			return res
+		}
+		sys, verify := build(sched.NewRandom(int64(seed)))
+		runErr := sys.Run()
+		res.Schedules++
+		if verr := verify(runErr); verr != nil {
+			if res.add(opts, fmt.Sprintf("seed=%d", seed), verr) {
+				return res
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,134 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HistOp is one completed operation in a concurrent history, stamped
+// with the simulator's logical clock (sim.Ctx.Now) at invocation start
+// and completion.
+type HistOp struct {
+	// Proc identifies the invoking process (diagnostics only).
+	Proc int
+	// Start and End delimit the operation's real-time interval.
+	Start, End int64
+	// Kind and Args describe the operation for the spec.
+	Kind int
+	Args [2]uint64
+	// Ret is the value the operation actually returned.
+	Ret uint64
+	// Desc labels the op in error messages.
+	Desc string
+}
+
+// SeqSpec is a sequential specification: apply op to state, returning
+// the new state and the return value a sequential execution would give.
+// It must be pure.
+type SeqSpec func(state any, op HistOp) (newState any, ret uint64)
+
+// StateKey optionally folds a spec state into a comparable key for
+// memoization; nil disables memoization (fine for histories of ≤ ~12
+// ops).
+type StateKey func(state any) uint64
+
+// Linearizable reports whether the history has a linearization: a total
+// order of the ops that (i) respects real-time order (op A before op B
+// whenever A.End < B.Start) and (ii) yields each op's recorded return
+// value under the sequential specification. It returns nil if one
+// exists, and a diagnostic error otherwise.
+//
+// The search is the Wing & Gong algorithm with optional memoization;
+// histories up to 64 operations are supported.
+func Linearizable(ops []HistOp, initial any, spec SeqSpec, key StateKey) error {
+	if len(ops) > 64 {
+		return fmt.Errorf("check: history of %d ops exceeds 64-op limit", len(ops))
+	}
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ops[idx[a]].Start < ops[idx[b]].Start })
+	sorted := make([]HistOp, len(ops))
+	for i, j := range idx {
+		sorted[i] = ops[j]
+	}
+
+	type memoKey struct {
+		taken uint64
+		state uint64
+	}
+	var memo map[memoKey]bool
+	if key != nil {
+		memo = make(map[memoKey]bool)
+	}
+
+	var rec func(taken uint64, n int, state any) bool
+	rec = func(taken uint64, n int, state any) bool {
+		if n == len(sorted) {
+			return true
+		}
+		if memo != nil {
+			k := memoKey{taken: taken, state: key(state)}
+			if memo[k] {
+				return false // already proven a dead end
+			}
+			defer func() { memo[memoKey{taken: taken, state: key(state)}] = true }()
+		}
+		// An op may linearize next only if no untaken op completed
+		// strictly before it started.
+		minEnd := int64(1<<62 - 1)
+		for i, op := range sorted {
+			if taken&(1<<i) == 0 && op.End < minEnd {
+				minEnd = op.End
+			}
+		}
+		for i, op := range sorted {
+			if taken&(1<<i) != 0 || op.Start > minEnd {
+				continue
+			}
+			st, ret := spec(state, op)
+			if ret != op.Ret {
+				continue
+			}
+			if rec(taken|1<<i, n+1, st) {
+				return true
+			}
+		}
+		return false
+	}
+	if rec(0, 0, initial) {
+		return nil
+	}
+	return fmt.Errorf("check: history of %d ops is not linearizable: %v", len(ops), describe(sorted))
+}
+
+func describe(ops []HistOp) []string {
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		d := op.Desc
+		if d == "" {
+			d = fmt.Sprintf("op%d(kind=%d,args=%v)=%d", i, op.Kind, op.Args, op.Ret)
+		}
+		out[i] = fmt.Sprintf("p%d[%d,%d] %s", op.Proc, op.Start, op.End, d)
+	}
+	return out
+}
+
+// History collects HistOps from concurrently running invocations. It is
+// safe in the simulator's one-statement-at-a-time execution model (no
+// two invocations append at the same instant).
+type History struct {
+	ops []HistOp
+}
+
+// Add appends a completed op.
+func (h *History) Add(op HistOp) { h.ops = append(h.ops, op) }
+
+// Ops returns the recorded ops.
+func (h *History) Ops() []HistOp { return h.ops }
+
+// Check runs Linearizable over the recorded history.
+func (h *History) Check(initial any, spec SeqSpec, key StateKey) error {
+	return Linearizable(h.ops, initial, spec, key)
+}

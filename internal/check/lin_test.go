@@ -1,0 +1,122 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+)
+
+// Counter spec: kind 1 = fetch-and-increment (returns prior value).
+func ctrSpec(state any, op check.HistOp) (any, uint64) {
+	v := state.(uint64)
+	return v + 1, v
+}
+
+func ctrKey(state any) uint64 { return state.(uint64) }
+
+func TestLinearizableSequential(t *testing.T) {
+	ops := []check.HistOp{
+		{Proc: 0, Start: 0, End: 1, Ret: 0},
+		{Proc: 1, Start: 2, End: 3, Ret: 1},
+		{Proc: 0, Start: 4, End: 5, Ret: 2},
+	}
+	if err := check.Linearizable(ops, uint64(0), ctrSpec, ctrKey); err != nil {
+		t.Fatalf("sequential history rejected: %v", err)
+	}
+}
+
+func TestLinearizableConcurrentReorder(t *testing.T) {
+	// Two overlapping increments may linearize in either order; the
+	// returns force the reversed one.
+	ops := []check.HistOp{
+		{Proc: 0, Start: 0, End: 10, Ret: 1},
+		{Proc: 1, Start: 1, End: 9, Ret: 0},
+	}
+	if err := check.Linearizable(ops, uint64(0), ctrSpec, ctrKey); err != nil {
+		t.Fatalf("concurrent reorder rejected: %v", err)
+	}
+}
+
+func TestLinearizableRejectsRealTimeViolation(t *testing.T) {
+	// p1's increment completes strictly before p0's begins, yet p0
+	// claims the earlier ticket: no linearization exists.
+	ops := []check.HistOp{
+		{Proc: 1, Start: 0, End: 1, Ret: 1},
+		{Proc: 0, Start: 5, End: 6, Ret: 0},
+	}
+	if err := check.Linearizable(ops, uint64(0), ctrSpec, ctrKey); err == nil {
+		t.Fatal("real-time violation accepted")
+	}
+}
+
+func TestLinearizableRejectsDuplicateTickets(t *testing.T) {
+	ops := []check.HistOp{
+		{Proc: 0, Start: 0, End: 10, Ret: 0},
+		{Proc: 1, Start: 1, End: 9, Ret: 0},
+	}
+	if err := check.Linearizable(ops, uint64(0), ctrSpec, ctrKey); err == nil {
+		t.Fatal("duplicate tickets accepted")
+	}
+}
+
+func TestLinearizableWithoutMemo(t *testing.T) {
+	ops := []check.HistOp{
+		{Proc: 0, Start: 0, End: 3, Ret: 0},
+		{Proc: 1, Start: 1, End: 4, Ret: 1},
+	}
+	if err := check.Linearizable(ops, uint64(0), ctrSpec, nil); err != nil {
+		t.Fatalf("rejected without memo: %v", err)
+	}
+}
+
+func TestLinearizableTooLong(t *testing.T) {
+	ops := make([]check.HistOp, 65)
+	if err := check.Linearizable(ops, uint64(0), ctrSpec, ctrKey); err == nil {
+		t.Fatal("65-op history accepted")
+	}
+}
+
+// CAS spec over a register: kind 1 = read, kind 2 = CAS(old, new)
+// returning 1 on success.
+func casSpec(state any, op check.HistOp) (any, uint64) {
+	v := state.(uint64)
+	switch op.Kind {
+	case 1:
+		return v, v
+	case 2:
+		if v == op.Args[0] {
+			return op.Args[1], 1
+		}
+		return v, 0
+	default:
+		panic("bad kind")
+	}
+}
+
+func TestLinearizableCASHistory(t *testing.T) {
+	ops := []check.HistOp{
+		{Proc: 0, Kind: 2, Args: [2]uint64{0, 5}, Start: 0, End: 8, Ret: 1},
+		{Proc: 1, Kind: 2, Args: [2]uint64{0, 7}, Start: 1, End: 9, Ret: 0},
+		{Proc: 2, Kind: 1, Start: 10, End: 11, Ret: 5},
+	}
+	if err := check.Linearizable(ops, uint64(0), casSpec, ctrKey); err != nil {
+		t.Fatalf("valid CAS history rejected: %v", err)
+	}
+	// Flip the read to an impossible value.
+	ops[2].Ret = 7
+	if err := check.Linearizable(ops, uint64(0), casSpec, ctrKey); err == nil {
+		t.Fatal("impossible CAS history accepted")
+	}
+}
+
+func TestHistoryCollector(t *testing.T) {
+	var h check.History
+	h.Add(check.HistOp{Proc: 0, Start: 0, End: 1, Ret: 0})
+	h.Add(check.HistOp{Proc: 1, Start: 2, End: 3, Ret: 1})
+	if len(h.Ops()) != 2 {
+		t.Fatalf("ops = %d", len(h.Ops()))
+	}
+	if err := h.Check(uint64(0), ctrSpec, ctrKey); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}

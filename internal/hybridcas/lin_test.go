@@ -1,0 +1,141 @@
+package hybridcas_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/hybridcas"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+const (
+	kindRead = iota + 1
+	kindCAS
+)
+
+func casSpec(state any, op check.HistOp) (any, uint64) {
+	v := state.(uint64)
+	switch op.Kind {
+	case kindRead:
+		return v, v
+	case kindCAS:
+		if v == op.Args[0] {
+			return op.Args[1], 1
+		}
+		return v, 0
+	default:
+		panic("bad kind")
+	}
+}
+
+func casKey(state any) uint64 { return state.(uint64) }
+
+// TestFig5Linearizable records full mixed Read/C&S histories of the
+// Fig. 5 object across priority levels and checks them against the
+// sequential C&S specification with the Wing-Gong oracle.
+func TestFig5Linearizable(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		const levels = 3
+		sys := sim.New(sim.Config{Processors: 1, Quantum: hybridcas.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 20})
+		obj := hybridcas.New("cas", levels, 0)
+		hist := &check.History{}
+		add := func(c *sim.Ctx, start int64, kind int, a, b, ret mem.Word, desc string) {
+			hist.Add(check.HistOp{Proc: c.ID(), Start: start, End: c.Now(),
+				Kind: kind, Args: [2]uint64{a, b}, Ret: ret, Desc: desc})
+		}
+		// Contending CAS chains from three processes at distinct levels.
+		for i := 0; i < 3; i++ {
+			i := i
+			p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%levels})
+			for k := 0; k < 2; k++ {
+				p.AddInvocation(func(c *sim.Ctx) {
+					start := c.Now()
+					v := obj.Read(c)
+					add(c, start, kindRead, 0, 0, v, fmt.Sprintf("read=%d", v))
+					start = c.Now()
+					ok := obj.CompareAndSwap(c, v, v+mem.Word(i)+1)
+					r := mem.Word(0)
+					if ok {
+						r = 1
+					}
+					add(c, start, kindCAS, v, v+mem.Word(i)+1, r,
+						fmt.Sprintf("cas(%d,%d)=%v", v, v+mem.Word(i)+1, ok))
+				})
+			}
+		}
+		// A pure reader at the top level.
+		rd := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: levels})
+		for k := 0; k < 3; k++ {
+			rd.AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				v := obj.Read(c)
+				add(c, start, kindRead, 0, 0, v, fmt.Sprintf("read=%d", v))
+			})
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			return hist.Check(uint64(0), casSpec, casKey)
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 400, check.Options{})
+	if !res.OK() {
+		t.Fatalf("non-linearizable history: %+v", res.First())
+	}
+}
+
+// TestFig5LinearizableBudget runs a smaller scenario exhaustively within
+// a deviation budget.
+func TestFig5LinearizableBudget(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: hybridcas.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := hybridcas.New("cas", 2, 10)
+		hist := &check.History{}
+		add := func(c *sim.Ctx, start int64, kind int, a, b, ret mem.Word) {
+			hist.Add(check.HistOp{Proc: c.ID(), Start: start, End: c.Now(),
+				Kind: kind, Args: [2]uint64{a, b}, Ret: ret})
+		}
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				ok := obj.CompareAndSwap(c, 10, 11)
+				r := mem.Word(0)
+				if ok {
+					r = 1
+				}
+				add(c, start, kindCAS, 10, 11, r)
+			})
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 2}).
+			AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				ok := obj.CompareAndSwap(c, 10, 12)
+				r := mem.Word(0)
+				if ok {
+					r = 1
+				}
+				add(c, start, kindCAS, 10, 12, r)
+			})
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				v := obj.Read(c)
+				add(c, start, kindRead, 0, 0, v)
+			})
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			return hist.Check(uint64(10), casSpec, casKey)
+		}
+		return sys, verify
+	}
+	res := check.ExploreBudget(build, 2, check.Options{MaxSchedules: 100000})
+	if !res.OK() {
+		t.Fatalf("non-linearizable history after %d schedules: %+v", res.Schedules, res.First())
+	}
+	t.Logf("verified %d schedules", res.Schedules)
+}

@@ -1,0 +1,32 @@
+package mem
+
+// CASObject is a hardware compare-and-swap word — a primitive with
+// infinite consensus number in Herlihy's hierarchy. It exists only for
+// the baseline comparators (e.g. the blocking lock): the paper's own
+// algorithms use nothing stronger than registers and C-consensus
+// objects. An invocation is one atomic statement.
+type CASObject struct {
+	name string
+	v    Word
+}
+
+// NewCASObject returns a CAS word initialized to v.
+func NewCASObject(name string, v Word) *CASObject {
+	return &CASObject{name: name, v: v}
+}
+
+// Name returns the object's diagnostic name.
+func (o *CASObject) Name() string { return o.name }
+
+// Load returns the current value. Statement-baton discipline applies.
+func (o *CASObject) Load() Word { return o.v }
+
+// CompareAndSwap installs new if the value equals old, reporting whether
+// it did. Statement-baton discipline applies (call via sim.Ctx).
+func (o *CASObject) CompareAndSwap(old, new Word) bool {
+	if o.v != old {
+		return false
+	}
+	o.v = new
+	return true
+}

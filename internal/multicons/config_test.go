@@ -1,0 +1,77 @@
+package multicons_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/multicons"
+)
+
+// TestLevelsFormulaProperties property-checks the Lemma 3 level count
+// L = (K+1)M(1+P−K) + (P−K)²M + 1 over random legal configurations.
+func TestLevelsFormulaProperties(t *testing.T) {
+	f := func(pRaw, kRaw, mRaw uint8) bool {
+		p := int(pRaw%6) + 1
+		k := int(kRaw) % (p + 1)
+		m := int(mRaw%5) + 1
+		cfg := multicons.Config{P: p, K: k, M: m, V: 1}
+		l := cfg.Levels()
+		pk := p - k
+		// Exact formula.
+		if l != (k+1)*m*(1+pk)+pk*pk*m+1 {
+			return false
+		}
+		// Lemma 3: L must exceed the access-failure budget
+		// M + KM + (P−K)(L+M(P−K))/(1+P−K), i.e. the algorithm always
+		// has a deciding level.
+		af := m + k*m + (pk*(l+m*pk))/(1+pk)
+		if l <= af-pk { // integer-division slack of up to (P−K)
+			return false
+		}
+		// Monotone in M: more processes need more levels.
+		bigger := multicons.Config{P: p, K: k, M: m + 1, V: 1}
+		return bigger.Levels() > l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigC checks C = P + K.
+func TestConfigC(t *testing.T) {
+	f := func(pRaw, kRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		k := int(kRaw) % (p + 1)
+		return multicons.Config{P: p, K: k, M: 1, V: 1}.C() == p+k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigLOverride(t *testing.T) {
+	cfg := multicons.Config{P: 2, K: 0, M: 2, V: 1, LOverride: 5}
+	if cfg.Levels() != 5 {
+		t.Fatalf("Levels = %d, want override 5", cfg.Levels())
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	for _, cfg := range []multicons.Config{
+		{P: 0, K: 0, M: 1, V: 1},
+		{P: 2, K: 3, M: 1, V: 1},
+		{P: 2, K: -1, M: 1, V: 1},
+		{P: 2, K: 0, M: 0, V: 1},
+		{P: 2, K: 0, M: 1, V: 0},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			multicons.New(cfg)
+		}()
+	}
+}

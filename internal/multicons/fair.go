@@ -1,0 +1,76 @@
+package multicons
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/unicons"
+)
+
+// Fair implements the paper's Fig. 9: multiprocessor consensus for any
+// number of processes on P processors using a quantum of constant size,
+// assuming quanta are allocated fairly among equal-priority processes.
+//
+// One process per (processor, priority) pair is elected through a local
+// uniprocessor consensus object (Fig. 3, constant quantum). Election
+// losers wait — finitely, by fairness — for the winners to decide; the
+// winners run the Fig. 7 algorithm, which needs only a constant quantum
+// here because at most one participant per priority level exists on each
+// processor, eliminating same-priority access failures entirely.
+//
+// Fig. 9 is wait-free in the paper's §5 sense ("each process completes
+// an operation in a finite number of its own steps" under fair quantum
+// allocation); under an unfair chooser a loser may spin until the
+// simulator's step limit.
+type Fair struct {
+	cfg       Config
+	elections [][]*unicons.Object // [processor][priority]
+	output    *mem.Reg
+	global    *Algorithm
+}
+
+// NewFair returns a Fig. 9 instance for P processors and V priority
+// levels using (P+K)-consensus objects. K may be 0: with fairness,
+// P-consensus primitives suffice for any number of processes.
+func NewFair(name string, p, v, k int) *Fair {
+	cfg := Config{Name: name + ".global", P: p, K: k, M: v, V: v}
+	cfg.validate()
+	f := &Fair{
+		cfg:    cfg,
+		output: mem.NewReg(name + ".Output"),
+		// The global phase sees at most one process per priority per
+		// processor, so its M is the number of priority levels.
+		global: New(cfg),
+	}
+	f.elections = make([][]*unicons.Object, p)
+	for i := 0; i < p; i++ {
+		f.elections[i] = make([]*unicons.Object, v+1)
+		for pri := 1; pri <= v; pri++ {
+			f.elections[i][pri] = unicons.New(fmt.Sprintf("%s.elect[%d][%d]", name, i, pri))
+		}
+	}
+	return f
+}
+
+// Decide performs the Fig. 9 decide(val) operation and returns the
+// consensus value. val must not be ⊥.
+func (f *Fair) Decide(c *sim.Ctx, val mem.Word) mem.Word {
+	if val == mem.Bottom {
+		panic("multicons: ⊥ is not a proposable value")
+	}
+	me := mem.Word(c.ID() + 1)
+	// Lines 1-3: elect one process per priority level per processor;
+	// losers wait for the decision (finitely, under fair scheduling).
+	if f.elections[c.Processor()][c.Pri()].Decide(c, me) != me {
+		for {
+			if out := c.Read(f.output); out != mem.Bottom {
+				return out
+			}
+		}
+	}
+	// Lines 4-6: winners run the priority-based global phase.
+	out := f.global.Decide(c, val)
+	c.Write(f.output, out)
+	return out
+}

@@ -1,0 +1,116 @@
+package multicons
+
+import "repro/internal/mem"
+
+// Post-run analysis of an Algorithm instance, reproducing the counting
+// arguments of the paper's Appendix B (Lemmas 2, 3, B.1, B.2).
+//
+// An "access failure" at level l (paper §4.2) is caused by processes
+// that acquire a processor's port(s) for l but are preempted before
+// publishing an output value; other processes then find the level
+// inaccessible yet unpublished. Operationally, after a run completes,
+// a level exhibits a *terminal* access failure on processor i if one of
+// i's ports for the level was claimed but Outval[i][l] was never
+// published (the claimer took the lines 15-16 early exit after a
+// decision appeared): transient failures heal when the preempted
+// claimer resumes and publishes, so the terminal count is a lower bound
+// on the failures that occurred. The Lemma 3 bound must dominate it.
+
+// LevelReport describes one consensus level after a run.
+type LevelReport struct {
+	// Level is the level number (1..L).
+	Level int
+	// Claims counts port claims per processor.
+	Claims []int
+	// Published reports whether each processor published Outval[i][l].
+	Published []bool
+	// Invocations is the level's C-consensus invocation count.
+	Invocations int
+}
+
+// Failed reports whether the level shows a terminal access failure on
+// any processor (claimed but never published).
+func (r LevelReport) Failed() bool {
+	for i := range r.Claims {
+		if r.Claims[i] > 0 && !r.Published[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// AllPublished reports whether every processor published at this level.
+func (r LevelReport) AllPublished() bool {
+	for _, p := range r.Published {
+		if !p {
+			return false
+		}
+	}
+	return true
+}
+
+// Report returns per-level reports for levels 1..L. Post-run inspection
+// only.
+func (a *Algorithm) Report() []LevelReport {
+	out := make([]LevelReport, 0, a.l)
+	for l := 1; l <= a.l; l++ {
+		r := LevelReport{
+			Level:       l,
+			Claims:      make([]int, a.cfg.P),
+			Published:   make([]bool, a.cfg.P),
+			Invocations: a.levelObjs[l].Invocations(),
+		}
+		for i := 0; i < a.cfg.P; i++ {
+			r.Claims[i] = a.claims[i][l]
+			r.Published[i] = a.outval[i][l].Load() != mem.Bottom
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TerminalAccessFailures counts levels with a terminal access failure —
+// the empirical lower bound on the paper's AF. Post-run inspection only.
+func (a *Algorithm) TerminalAccessFailures() int {
+	n := 0
+	for _, r := range a.Report() {
+		if r.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// AccessFailureBudget is the Lemma 3 bound on same-priority access
+// failures, KM + (P−K)(L+M(P−K))/(1+P−K), plus Lemma 2's bound M on
+// different-priority failures.
+func (a *Algorithm) AccessFailureBudget() int {
+	p, k, m, l := a.cfg.P, a.cfg.K, a.cfg.M, a.l
+	pk := p - k
+	return m + k*m + (pk*(l+m*pk))/(1+pk)
+}
+
+// DecidingLevel returns the lowest level at which every processor
+// published an output — the operational witness of Lemma 3's "a
+// deciding level exists" — or 0 if none. Post-run inspection only.
+//
+// Note the subtlety: a level every processor published is a *witness*
+// that agreement propagated; the paper's deciding level (no access
+// failure at all) implies such a level exists once the quantum meets the
+// Table 1 bound.
+func (a *Algorithm) DecidingLevel() int {
+	for _, r := range a.Report() {
+		if r.AllPublished() {
+			return r.Level
+		}
+	}
+	return 0
+}
+
+// noteClaim records a port claim for the lemma accounting
+// (runtime-side).
+func (a *Algorithm) noteClaim(processor, level int) {
+	if level >= 1 && level <= a.l {
+		a.claims[processor][level]++
+	}
+}

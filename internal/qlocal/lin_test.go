@@ -1,0 +1,158 @@
+package qlocal_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/qlocal"
+	"repro/internal/sim"
+)
+
+// Operation kinds for the sequential word spec.
+const (
+	kindLoad = iota + 1
+	kindCAS
+	kindFAI
+	kindStore
+)
+
+func wordSpec(state any, op check.HistOp) (any, uint64) {
+	v := state.(uint64)
+	switch op.Kind {
+	case kindLoad:
+		return v, v
+	case kindCAS:
+		if v == op.Args[0] {
+			return op.Args[1], 1
+		}
+		return v, 0
+	case kindFAI:
+		return v + 1, v
+	case kindStore:
+		return op.Args[0], 0
+	default:
+		panic("bad kind")
+	}
+}
+
+func wordKey(state any) uint64 { return state.(uint64) }
+
+// TestMixedOpsLinearizable records full histories of mixed CAS, F&I,
+// Store, and Load operations under randomized schedules and verifies
+// each history against the sequential word specification with the
+// Wing-Gong checker — the strongest correctness statement in this suite.
+func TestMixedOpsLinearizable(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := qlocal.New("w", 0)
+		hist := &check.History{}
+		record := func(c *sim.Ctx, start int64, kind int, a, b, ret mem.Word, desc string) {
+			hist.Add(check.HistOp{
+				Proc: c.ID(), Start: start, End: c.Now(),
+				Kind: kind, Args: [2]uint64{a, b}, Ret: ret, Desc: desc,
+			})
+		}
+		// Process 0: two CAS-increment attempts.
+		p0 := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+		for k := 0; k < 2; k++ {
+			p0.AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				v := obj.Load(c)
+				record(c, start, kindLoad, 0, 0, v, fmt.Sprintf("load=%d", v))
+				start = c.Now()
+				ok := obj.CAS(c, v, v+1)
+				r := mem.Word(0)
+				if ok {
+					r = 1
+				}
+				record(c, start, kindCAS, v, v+1, r, fmt.Sprintf("cas(%d,%d)=%v", v, v+1, ok))
+			})
+		}
+		// Process 1: fetch-and-increments.
+		p1 := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+		for k := 0; k < 2; k++ {
+			p1.AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				v := obj.FetchInc(c)
+				record(c, start, kindFAI, 0, 0, v, fmt.Sprintf("fai=%d", v))
+			})
+		}
+		// Process 2: a store then a load.
+		p2 := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+		p2.AddInvocation(func(c *sim.Ctx) {
+			start := c.Now()
+			obj.Store(c, 100)
+			record(c, start, kindStore, 100, 0, 0, "store(100)")
+		})
+		p2.AddInvocation(func(c *sim.Ctx) {
+			start := c.Now()
+			v := obj.Load(c)
+			record(c, start, kindLoad, 0, 0, v, fmt.Sprintf("load=%d", v))
+		})
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			return hist.Check(uint64(0), wordSpec, wordKey)
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 500, check.Options{})
+	if !res.OK() {
+		t.Fatalf("non-linearizable history: %+v", res.First())
+	}
+}
+
+// TestMixedOpsLinearizableBudget runs the same linearizability oracle
+// under exhaustive bounded-deviation exploration.
+func TestMixedOpsLinearizableBudget(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := qlocal.New("w", 5)
+		hist := &check.History{}
+		add := func(c *sim.Ctx, start int64, kind int, a, b, ret mem.Word) {
+			hist.Add(check.HistOp{Proc: c.ID(), Start: start, End: c.Now(),
+				Kind: kind, Args: [2]uint64{a, b}, Ret: ret})
+		}
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				ok := obj.CAS(c, 5, 6)
+				r := mem.Word(0)
+				if ok {
+					r = 1
+				}
+				add(c, start, kindCAS, 5, 6, r)
+			})
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				ok := obj.CAS(c, 5, 7)
+				r := mem.Word(0)
+				if ok {
+					r = 1
+				}
+				add(c, start, kindCAS, 5, 7, r)
+			})
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				v := obj.Load(c)
+				add(c, start, kindLoad, 0, 0, v)
+			})
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			return hist.Check(uint64(5), wordSpec, wordKey)
+		}
+		return sys, verify
+	}
+	res := check.ExploreBudget(build, 2, check.Options{MaxSchedules: 100000})
+	if !res.OK() {
+		t.Fatalf("non-linearizable history after %d schedules: %+v", res.Schedules, res.First())
+	}
+	t.Logf("verified %d schedules", res.Schedules)
+}

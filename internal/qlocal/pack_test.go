@@ -1,0 +1,80 @@
+package qlocal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// White-box property tests for the packed-word encodings.
+
+func TestPackCurRoundTrip(t *testing.T) {
+	f := func(seq uint32, val uint32) bool {
+		s := int(seq >> 1) // keep within 31 bits
+		w := packCur(s, mem.Word(val))
+		gotSeq, gotVal := UnpackCur(w)
+		return gotSeq == s && gotVal == mem.Word(val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackCurNeverBottom(t *testing.T) {
+	f := func(seq uint16, val uint32) bool {
+		return packCur(int(seq), mem.Word(val)) != mem.Bottom
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackPropRoundTrip(t *testing.T) {
+	f := func(proposer uint16, val uint32) bool {
+		p := int(proposer)
+		w := packProp(p, mem.Word(val))
+		gotP, gotV := unpackProp(w)
+		return gotP == p && gotV == mem.Word(val) && w != mem.Bottom
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackPropDistinctProposers: proposals from distinct proposers are
+// distinct words even with identical values — the property CAS/F&I
+// winner detection relies on.
+func TestPackPropDistinctProposers(t *testing.T) {
+	f := func(a, b uint16, val uint32) bool {
+		if a == b {
+			return true
+		}
+		return packProp(int(a), mem.Word(val)) != packProp(int(b), mem.Word(val))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureGrowth(t *testing.T) {
+	o := New("g", 0)
+	o.ensure(5)
+	if len(o.cells) != 6 || len(o.vals) != 6 {
+		t.Fatalf("cells=%d vals=%d, want 6", len(o.cells), len(o.vals))
+	}
+	// Idempotent.
+	o.ensure(3)
+	if len(o.cells) != 6 {
+		t.Fatal("ensure shrank the chain")
+	}
+}
+
+func TestNewRejectsHugeInitial(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range initial value")
+		}
+	}()
+	New("bad", MaxValue+1)
+}

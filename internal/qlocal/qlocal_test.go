@@ -1,0 +1,344 @@
+package qlocal_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/qlocal"
+	"repro/internal/sim"
+)
+
+// fetchIncBuilder builds n same-level processes each performing opsPer
+// FetchInc operations, and verifies the returns form exactly the range
+// 0..n*opsPer-1 (each value once) — a complete linearizability
+// certificate for a counter.
+func fetchIncBuilder(n, opsPer, quantum int) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: quantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := qlocal.New("ctr", 0)
+		rets := make([][]mem.Word, n)
+		for i := 0; i < n; i++ {
+			i := i
+			p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: fmt.Sprintf("p%d", i)})
+			for k := 0; k < opsPer; k++ {
+				p.AddInvocation(func(c *sim.Ctx) {
+					rets[i] = append(rets[i], obj.FetchInc(c))
+				})
+			}
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			var all []int
+			for i := range rets {
+				// Per-process returns must be strictly increasing
+				// (program order respects linearization order).
+				for k := 1; k < len(rets[i]); k++ {
+					if rets[i][k] <= rets[i][k-1] {
+						return fmt.Errorf("process %d returns not increasing: %v", i, rets[i])
+					}
+				}
+				for _, v := range rets[i] {
+					all = append(all, int(v))
+				}
+			}
+			sort.Ints(all)
+			for k, v := range all {
+				if v != k {
+					return fmt.Errorf("returns not a permutation of 0..%d: %v", n*opsPer-1, all)
+				}
+			}
+			if got := obj.Peek(); got != mem.Word(n*opsPer) {
+				return fmt.Errorf("final value %d, want %d", got, n*opsPer)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+}
+
+func TestFetchIncSolo(t *testing.T) {
+	res := check.ExploreAll(fetchIncBuilder(1, 3, qlocal.RecommendedQuantum), check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}
+
+func TestFetchIncExhaustiveTwoProcs(t *testing.T) {
+	res := check.ExploreBudget(fetchIncBuilder(2, 2, qlocal.RecommendedQuantum), 3,
+		check.Options{MaxSchedules: 300000})
+	if !res.OK() {
+		t.Fatalf("violation after %d schedules: %+v", res.Schedules, res.First())
+	}
+	t.Logf("verified %d schedules (truncated=%v)", res.Schedules, res.Truncated)
+}
+
+func TestFetchIncFuzz(t *testing.T) {
+	for _, cfg := range []struct{ n, ops, q int }{
+		{2, 4, qlocal.RecommendedQuantum},
+		{3, 3, qlocal.RecommendedQuantum},
+		{5, 2, qlocal.RecommendedQuantum},
+		{4, 3, qlocal.MinQuantum}, // safety holds at the minimum quantum too
+	} {
+		res := check.Fuzz(fetchIncBuilder(cfg.n, cfg.ops, cfg.q), 300, check.Options{})
+		if !res.OK() {
+			t.Fatalf("cfg=%+v: violation: %+v", cfg, res.First())
+		}
+	}
+}
+
+// TestCASExhaustiveDisjointTargets explores two processes doing
+// CAS(0→1) and CAS(0→2): exactly one must succeed and the final value
+// must be the winner's.
+func TestCASExhaustiveDisjointTargets(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 16})
+		obj := qlocal.New("w", 0)
+		ok := make([]bool, 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *sim.Ctx) {
+					ok[i] = obj.CAS(c, 0, mem.Word(i+1))
+				})
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			final := obj.Peek()
+			switch {
+			case ok[0] && ok[1]:
+				return fmt.Errorf("both CAS(0,·) succeeded (final=%d)", final)
+			case !ok[0] && !ok[1]:
+				return fmt.Errorf("neither CAS succeeded (final=%d)", final)
+			case ok[0] && final != 1:
+				return fmt.Errorf("p0 won but final=%d", final)
+			case ok[1] && final != 2:
+				return fmt.Errorf("p1 won but final=%d", final)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.ExploreBudget(build, 3, check.Options{MaxSchedules: 300000})
+	if !res.OK() {
+		t.Fatalf("violation after %d schedules: %+v", res.Schedules, res.First())
+	}
+	t.Logf("verified %d schedules", res.Schedules)
+}
+
+// TestCASChainOutcomes explores p:CAS(0→1) with q:CAS(1→2): allowed
+// outcomes are {p=T,q=T,final=2} and {p=T,q=F,final=1}; p can never
+// fail.
+func TestCASChainOutcomes(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 16})
+		obj := qlocal.New("w", 0)
+		ok := make([]bool, 2)
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: "p"}).
+			AddInvocation(func(c *sim.Ctx) { ok[0] = obj.CAS(c, 0, 1) })
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: "q"}).
+			AddInvocation(func(c *sim.Ctx) { ok[1] = obj.CAS(c, 1, 2) })
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			final := obj.Peek()
+			switch {
+			case !ok[0]:
+				return fmt.Errorf("CAS(0,1) failed (q=%v final=%d)", ok[1], final)
+			case ok[1] && final != 2:
+				return fmt.Errorf("both succeeded but final=%d", final)
+			case !ok[1] && final != 1:
+				return fmt.Errorf("q failed but final=%d", final)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.ExploreBudget(build, 3, check.Options{MaxSchedules: 300000})
+	if !res.OK() {
+		t.Fatalf("violation after %d schedules: %+v", res.Schedules, res.First())
+	}
+}
+
+// TestCASIncrementLoop drives a counter through CAS retry loops: total
+// successful increments must equal the final value, and every process
+// must succeed exactly opsPer times (the loop retries until success).
+func TestCASIncrementLoop(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		const n, opsPer = 4, 3
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := qlocal.New("ctr", 0)
+		succ := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+			for k := 0; k < opsPer; k++ {
+				p.AddInvocation(func(c *sim.Ctx) {
+					for {
+						v := obj.Load(c)
+						if obj.CAS(c, v, v+1) {
+							succ[i]++
+							return
+						}
+					}
+				})
+			}
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			total := 0
+			for _, s := range succ {
+				total += s
+			}
+			if total != n*opsPer {
+				return fmt.Errorf("successes = %d, want %d", total, n*opsPer)
+			}
+			if got := obj.Peek(); got != mem.Word(n*opsPer) {
+				return fmt.Errorf("final = %d, want %d", got, n*opsPer)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 400, check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}
+
+// TestStoreLastWins fuzzes concurrent stores: the final value must be
+// one of the stored values, and a solo store after the fact must win.
+func TestStoreLastWins(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		const n = 3
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := qlocal.New("w", 0)
+		for i := 0; i < n; i++ {
+			i := i
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *sim.Ctx) { obj.Store(c, mem.Word(i+10)) })
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			final := obj.Peek()
+			if final < 10 || final >= 10+n {
+				return fmt.Errorf("final = %d, not any stored value", final)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 400, check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}
+
+// TestLoadSnapshotsMonotone checks that interleaved loads by a same-level
+// observer never run backwards while a mutator increments.
+func TestLoadSnapshotsMonotone(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := qlocal.New("ctr", 0)
+		var loads []mem.Word
+		inc := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: "inc"})
+		for k := 0; k < 5; k++ {
+			inc.AddInvocation(func(c *sim.Ctx) { obj.FetchInc(c) })
+		}
+		rd := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: "rd"})
+		for k := 0; k < 5; k++ {
+			rd.AddInvocation(func(c *sim.Ctx) { loads = append(loads, obj.Load(c)) })
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			for i := 1; i < len(loads); i++ {
+				if loads[i] < loads[i-1] {
+					return fmt.Errorf("loads ran backwards: %v", loads)
+				}
+			}
+			if len(loads) > 0 && loads[len(loads)-1] > 5 {
+				return fmt.Errorf("load exceeds increment count: %v", loads)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 400, check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}
+
+// TestWeakReadStaysInHistory checks that WeakRead, from a
+// higher-priority level, always returns a (seq, value) pair that the
+// object actually went through.
+func TestWeakReadStaysInHistory(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 18})
+		obj := qlocal.New("ctr", 7)
+		type snap struct {
+			seq int
+			val mem.Word
+		}
+		var snaps []snap
+		for i := 0; i < 3; i++ {
+			p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+			for k := 0; k < 3; k++ {
+				p.AddInvocation(func(c *sim.Ctx) { obj.FetchInc(c) })
+			}
+		}
+		hi := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 2, Name: "reader"})
+		for k := 0; k < 4; k++ {
+			hi.AddInvocation(func(c *sim.Ctx) {
+				seq, val := obj.WeakRead(c)
+				snaps = append(snaps, snap{seq, val})
+			})
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			for _, s := range snaps {
+				// seq k corresponds to value 7+k for a pure counter.
+				if s.val != mem.Word(7+s.seq) {
+					return fmt.Errorf("weak read (seq=%d val=%d) not in object history", s.seq, s.val)
+				}
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 400, check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}
+
+// TestOpsCount checks the post-run Ops accounting.
+func TestOpsCount(t *testing.T) {
+	sys := sim.New(sim.Config{Processors: 1, Quantum: qlocal.RecommendedQuantum})
+	obj := qlocal.New("ctr", 0)
+	p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+	for k := 0; k < 4; k++ {
+		p.AddInvocation(func(c *sim.Ctx) { obj.FetchInc(c) })
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if obj.Ops() != 4 {
+		t.Fatalf("Ops = %d, want 4", obj.Ops())
+	}
+}

@@ -1,0 +1,144 @@
+// Package renaming implements the wait-free renaming objects discussed
+// in the paper's §5 for hybrid-scheduled uniprocessors.
+//
+// Two objects are provided:
+//
+//   - LevelNames: one-shot renaming that "assigns the same name to
+//     same-priority processes" — the identifier scheme §5 uses to extend
+//     the Fig. 7 multiprocessor consensus to dynamic priorities. The
+//     first process of a given priority to arrive claims the next name
+//     through a per-level Fig. 3 consensus; same-priority peers adopt it.
+//
+//   - LongLived: long-lived renaming in the style of Moir & Anderson [5]
+//     — names can be repeatedly acquired and released. Built from reads
+//     and writes via the universal construction, so it is wait-free and
+//     linearizable for all priority levels of one processor. The paper
+//     notes that an O(V)-time long-lived renaming is an open problem;
+//     this construction is correct but takes O(interference) time, as
+//     recorded in DESIGN.md.
+package renaming
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/unicons"
+	"repro/internal/universal"
+)
+
+// LevelNames assigns one name per priority level, the same name to all
+// processes of that level. Names are dense: 1, 2, ... in level-arrival
+// order.
+type LevelNames struct {
+	levels  []*unicons.Object  // per-level name cell
+	counter *universal.Counter // next name; cross-level, so built on Fig. 3
+}
+
+// NewLevelNames returns a one-shot level-renaming object for priorities
+// 1..v.
+func NewLevelNames(name string, v int) *LevelNames {
+	return &LevelNames{
+		levels:  make([]*unicons.Object, v+1),
+		counter: universal.NewCounter(name+".next", 1),
+	}
+}
+
+func (r *LevelNames) level(pri int) *unicons.Object {
+	if r.levels[pri] == nil {
+		r.levels[pri] = unicons.New(fmt.Sprintf("rename.level[%d]", pri))
+	}
+	return r.levels[pri]
+}
+
+// Name returns the caller's level's name, claiming the next dense name
+// if the level has none yet. Same-priority processes always receive the
+// same name.
+//
+// The name counter is shared across levels; a claim races it upward via
+// CAS until it either wins a slot or observes its level named. All
+// claimers of one level propose through the level's consensus cell, so
+// exactly one claimed name sticks.
+func (r *LevelNames) Name(c *sim.Ctx, v int) mem.Word {
+	lvl := r.level(v)
+	if n := lvl.ReadValue(c); n != mem.Bottom {
+		return n
+	}
+	// Claim a candidate name: fetch-and-increment on the shared counter
+	// (cross-level, hence the universal counter). Names claimed by
+	// losing proposals leak, which renaming permits: names stay unique
+	// and bounded by claiming levels plus interference.
+	cand := r.counter.Inc(c)
+	return lvl.Decide(c, cand)
+}
+
+// LongLived is a long-lived M-renaming object: processes repeatedly
+// acquire a free name in 1..Size and later release it. Linearizable and
+// wait-free for all priority levels of one hybrid-scheduled processor;
+// reads and writes only underneath.
+type LongLived struct {
+	o *universal.Object
+}
+
+// Size is the name-space size of a LongLived object (bitmask state in a
+// packed word).
+const Size = 32
+
+// Op encoding for the universal object.
+const (
+	opAcquire = 1
+	opRelease = 2
+)
+
+// NoName is returned by Acquire when all Size names are taken.
+const NoName = mem.Word(0)
+
+func renameApply(state any, op mem.Word) (any, mem.Word) {
+	mask := state.(mem.Word)
+	switch op & 0xF {
+	case opAcquire:
+		for n := mem.Word(1); n <= Size; n++ {
+			if mask&(1<<(n-1)) == 0 {
+				return mask | 1<<(n-1), n
+			}
+		}
+		return mask, NoName
+	case opRelease:
+		n := op >> 4
+		return mask &^ (1 << (n - 1)), 0
+	default:
+		panic(fmt.Sprintf("renaming: bad op %#x", op))
+	}
+}
+
+// NewLongLived returns an empty long-lived renaming object.
+func NewLongLived(name string) *LongLived {
+	return &LongLived{o: universal.New(name, mem.Word(0), renameApply)}
+}
+
+// Acquire claims and returns the smallest free name in 1..Size, or
+// NoName if none is free.
+func (r *LongLived) Acquire(c *sim.Ctx) mem.Word {
+	return r.o.Invoke(c, opAcquire)
+}
+
+// Release frees a name previously returned by Acquire.
+func (r *LongLived) Release(c *sim.Ctx, n mem.Word) {
+	if n < 1 || n > Size {
+		panic(fmt.Sprintf("renaming: release of invalid name %d", n))
+	}
+	r.o.Invoke(c, opRelease|n<<4)
+}
+
+// PeekTaken returns the number of currently held names. Post-run
+// inspection only.
+func (r *LongLived) PeekTaken() int {
+	mask := r.o.PeekState().(mem.Word)
+	n := 0
+	for i := 0; i < Size; i++ {
+		if mask&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package renaming_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/renaming"
+	"repro/internal/sim"
+	"repro/internal/unicons"
+)
+
+// TestLevelNamesSameLevelSameName fuzzes the §5 level-renaming scheme:
+// processes of one priority level always receive the same name, distinct
+// levels receive distinct names.
+func TestLevelNamesSameLevelSameName(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		const n, v = 6, 3
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 32, Chooser: ch, MaxSteps: 1 << 18})
+		r := renaming.NewLevelNames("rn", v)
+		names := make([]mem.Word, n)
+		pris := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			pris[i] = 1 + i%v
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: pris[i]}).
+				AddInvocation(func(c *sim.Ctx) { names[i] = r.Name(c, c.Pri()) })
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			byLevel := map[int]mem.Word{}
+			byName := map[mem.Word]int{}
+			for i := 0; i < n; i++ {
+				if names[i] == mem.Bottom {
+					return fmt.Errorf("process %d got no name", i)
+				}
+				if prev, ok := byLevel[pris[i]]; ok && prev != names[i] {
+					return fmt.Errorf("level %d got names %d and %d", pris[i], prev, names[i])
+				}
+				byLevel[pris[i]] = names[i]
+				if lvl, ok := byName[names[i]]; ok && lvl != pris[i] {
+					return fmt.Errorf("name %d shared by levels %d and %d", names[i], lvl, pris[i])
+				}
+				byName[names[i]] = pris[i]
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 400, check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}
+
+// TestLongLivedUniqueWhileHeld fuzzes acquire/release cycles: at no
+// point may two processes hold the same name.
+func TestLongLivedUniqueWhileHeld(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		const n, rounds = 4, 3
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 32, Chooser: ch, MaxSteps: 1 << 20})
+		r := renaming.NewLongLived("rn")
+		violation := ""
+		held := map[mem.Word]int{}
+		for i := 0; i < n; i++ {
+			i := i
+			p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%2})
+			for k := 0; k < rounds; k++ {
+				var got mem.Word
+				p.AddInvocation(func(c *sim.Ctx) {
+					got = r.Acquire(c)
+					if got == renaming.NoName {
+						violation = fmt.Sprintf("process %d: namespace exhausted", i)
+						return
+					}
+					if owner, taken := held[got]; taken {
+						violation = fmt.Sprintf("name %d held by %d and %d", got, owner, i)
+						return
+					}
+					held[got] = i
+				})
+				p.AddInvocation(func(c *sim.Ctx) {
+					if got == renaming.NoName {
+						c.Local(1)
+						return
+					}
+					delete(held, got)
+					r.Release(c, got)
+				})
+			}
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			if violation != "" {
+				return fmt.Errorf("%s", violation)
+			}
+			if r.PeekTaken() != 0 {
+				return fmt.Errorf("%d names leaked", r.PeekTaken())
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 300, check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}
+
+// TestLongLivedSmallestFree checks the smallest-free-name rule
+// sequentially.
+func TestLongLivedSmallestFree(t *testing.T) {
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 32})
+	r := renaming.NewLongLived("rn")
+	var a, b, c1, again mem.Word
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+		AddInvocation(func(c *sim.Ctx) {
+			a = r.Acquire(c)
+			b = r.Acquire(c)
+			c1 = r.Acquire(c)
+			r.Release(c, b)
+			again = r.Acquire(c)
+		})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a != 1 || b != 2 || c1 != 3 || again != 2 {
+		t.Fatalf("names = %d,%d,%d then %d; want 1,2,3 then 2", a, b, c1, again)
+	}
+}
+
+// TestLevelNamesSupportsDynamicPriorityConsensus is the §5 pipeline:
+// level renaming supplies identifiers, then same-named (same-level)
+// processes share Fig. 3 consensus objects indexed by name.
+func TestLevelNamesSupportsDynamicPriorityConsensus(t *testing.T) {
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 32})
+	r := renaming.NewLevelNames("rn", 2)
+	cons := map[mem.Word]*unicons.Object{
+		1: unicons.New("c1"), 2: unicons.New("c2"),
+	}
+	outs := make([]mem.Word, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%2}).
+			AddInvocation(func(c *sim.Ctx) {
+				name := r.Name(c, c.Pri())
+				outs[i] = cons[name].Decide(c, mem.Word(i+1))
+			})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outs[0] != outs[2] || outs[1] != outs[3] {
+		t.Fatalf("same-level processes disagreed: %v", outs)
+	}
+}

@@ -1,0 +1,235 @@
+// Package sched provides Chooser implementations — scheduling strategies
+// — for the internal/sim simulator. The simulator itself enforces the
+// paper's Axioms 1–2; choosers decide everything the axioms leave open:
+// which processor advances, when thinking processes arrive, which
+// equal-priority process receives the next quantum, and when legal
+// preemptions actually occur.
+//
+// The package includes benign strategies (run-to-completion, seeded
+// random, rotating round-robin) and hostile ones (maximal legal
+// preemption, the quantum-stagger adversary from the paper's Theorem 3
+// lower-bound proof).
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Random picks uniformly among candidates using a seeded PRNG, giving
+// reproducible pseudo-random schedules. Random schedules exercise
+// preemptions heavily because every legal preemption point is taken with
+// positive probability.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random chooser with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements sim.Chooser.
+func (r *Random) Pick(d sim.Decision) int {
+	return r.rng.Intn(len(d.Candidates))
+}
+
+// RunToCompletion prefers the process that most recently ran, so each
+// invocation completes without same-priority preemption when possible.
+// It is the friendliest legal schedule: a sanity baseline under which
+// every correct algorithm must succeed trivially.
+type RunToCompletion struct {
+	last *sim.Process
+}
+
+// Pick implements sim.Chooser.
+func (c *RunToCompletion) Pick(d sim.Decision) int {
+	for i, p := range d.Candidates {
+		if p == c.last {
+			return i
+		}
+	}
+	c.last = d.Candidates[0]
+	return 0
+}
+
+// Rotate cycles through candidate processes, switching to the next
+// distinct process at every legal opportunity. Because the simulator
+// only offers legal candidates, Rotate effects a maximally-preempting
+// quantum round-robin: every quantum is exactly Q statements.
+type Rotate struct {
+	lastID int
+}
+
+// NewRotate returns a Rotate chooser.
+func NewRotate() *Rotate { return &Rotate{lastID: -1} }
+
+// Pick implements sim.Chooser.
+func (c *Rotate) Pick(d sim.Decision) int {
+	// Choose the candidate with the smallest ID strictly greater than
+	// the last scheduled ID, wrapping around.
+	best, bestWrap := -1, -1
+	for i, p := range d.Candidates {
+		id := p.ID()
+		if id > c.lastID && (best == -1 || id < d.Candidates[best].ID()) {
+			best = i
+		}
+		if bestWrap == -1 || id < d.Candidates[bestWrap].ID() {
+			bestWrap = i
+		}
+	}
+	if best == -1 {
+		best = bestWrap
+	}
+	c.lastID = d.Candidates[best].ID()
+	return best
+}
+
+// Stagger is the quantum-stagger adversary from the paper's Theorem 3
+// lower-bound proof (Sec. 4.1/Appendix A): it aligns processes'
+// executions with quantum boundaries at staggered offsets, so that at
+// (almost) every instant some process is at a preemption point. Each
+// process runs for its offset first, then for Period statements between
+// switches; the simulator clips illegal preemptions, so Stagger is
+// always legal but maximally misaligned.
+type Stagger struct {
+	// Period is the statements each process runs per burst after its
+	// initial offset (use the quantum Q for exact boundary staggering).
+	Period int
+	// Phase rotates the offset assignment, letting a battery try
+	// different alignments.
+	Phase int
+
+	started  map[int]bool
+	budgets  map[int]int
+	current  int
+	lastStep int64
+}
+
+// NewStagger returns a stagger adversary with the given burst period and
+// alignment phase.
+func NewStagger(period, phase int) *Stagger {
+	if period < 1 {
+		period = 1
+	}
+	return &Stagger{
+		Period:  period,
+		Phase:   phase,
+		started: make(map[int]bool),
+		budgets: make(map[int]int),
+		current: -1,
+	}
+}
+
+// Pick implements sim.Chooser. Burst budgets are charged by the global
+// statement clock (Decision.Step deltas), so statements the kernel
+// grants without a decision point — e.g. while the current process is
+// quantum-protected — are accounted too.
+func (s *Stagger) Pick(d sim.Decision) int {
+	if s.current >= 0 {
+		s.budgets[s.current] -= int(d.Step - s.lastStep)
+	}
+	s.lastStep = d.Step
+	// Continue the current process while its burst budget lasts.
+	for i, p := range d.Candidates {
+		if p.ID() == s.current && s.budgets[s.current] > 0 {
+			return i
+		}
+	}
+	// Otherwise pick the next process round-robin and start its next
+	// burst. A process's first burst is its stagger offset:
+	// 1 + (ID+Phase) mod Period statements; later bursts are Period.
+	best, bestWrap := -1, -1
+	for i, p := range d.Candidates {
+		id := p.ID()
+		if id > s.current && (best == -1 || id < d.Candidates[best].ID()) {
+			best = i
+		}
+		if bestWrap == -1 || id < d.Candidates[bestWrap].ID() {
+			bestWrap = i
+		}
+	}
+	if best == -1 {
+		best = bestWrap
+	}
+	p := d.Candidates[best]
+	if !s.started[p.ID()] {
+		s.started[p.ID()] = true
+		s.budgets[p.ID()] = 1 + (p.ID()+s.Phase)%s.Period
+	} else {
+		s.budgets[p.ID()] = s.Period
+	}
+	s.current = p.ID()
+	return best
+}
+
+// Script replays a fixed decision sequence, then falls back to picking
+// candidate 0. It records the fan-out of every decision it makes, which
+// the exhaustive explorer in internal/check uses to enumerate schedules.
+type Script struct {
+	// Decisions is the prefix of decisions to replay.
+	Decisions []int
+	// Fanouts records len(Candidates) at each decision point encountered
+	// (including beyond the scripted prefix).
+	Fanouts []int
+	pos     int
+}
+
+// Pick implements sim.Chooser.
+func (s *Script) Pick(d sim.Decision) int {
+	s.Fanouts = append(s.Fanouts, len(d.Candidates))
+	i := 0
+	if s.pos < len(s.Decisions) {
+		i = s.Decisions[s.pos]
+		if i >= len(d.Candidates) {
+			i = len(d.Candidates) - 1
+		}
+	}
+	s.pos++
+	return i
+}
+
+// BudgetedSwitch wraps an inner preference for "keep running the current
+// process" but spends a limited budget of deliberate switches at
+// positions directed by a schedule word. It is the chooser shape used by
+// the bounded-preemption exhaustive explorer: schedules differ only in
+// where a bounded number of context switches are placed, which is where
+// all the interesting behaviour of quantum-scheduled algorithms lives.
+type BudgetedSwitch struct {
+	// SwitchAt maps decision index → candidate choice; decisions not
+	// present continue the current process when possible.
+	SwitchAt map[int64]int
+	current  *sim.Process
+	// Decision counts decisions seen so far.
+	Decision int64
+	// Fanouts records len(Candidates) at each decision point.
+	Fanouts []int
+	// Taken records the choice made at each decision point.
+	Taken []int
+}
+
+// Pick implements sim.Chooser.
+func (b *BudgetedSwitch) Pick(d sim.Decision) int {
+	idx := b.Decision
+	b.Decision++
+	b.Fanouts = append(b.Fanouts, len(d.Candidates))
+	choice, ok := b.SwitchAt[idx]
+	switch {
+	case ok:
+		if choice >= len(d.Candidates) {
+			choice = len(d.Candidates) - 1
+		}
+	default:
+		choice = 0
+		for i, p := range d.Candidates {
+			if p == b.current {
+				choice = i
+				break
+			}
+		}
+	}
+	b.current = d.Candidates[choice]
+	b.Taken = append(b.Taken, choice)
+	return choice
+}

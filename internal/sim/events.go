@@ -1,0 +1,93 @@
+package sim
+
+// Op identifies the kind of atomic statement a process executed.
+type Op int
+
+// Statement kinds.
+const (
+	OpRead  Op = iota + 1 // shared register read
+	OpWrite               // shared register write
+	OpCons                // C-consensus object invocation
+	OpLocal               // counted local statement
+)
+
+// String returns a short mnemonic for the op.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	case OpCons:
+		return "C"
+	case OpLocal:
+		return "L"
+	default:
+		return "?"
+	}
+}
+
+// StmtEvent describes one executed atomic statement.
+type StmtEvent struct {
+	// Proc is the executing process.
+	Proc *Process
+	// Op is the statement kind.
+	Op Op
+	// Object names the register or consensus object touched ("" for
+	// local statements).
+	Object string
+	// Value is the value read, written, or returned.
+	Value uint64
+	// Step is the global statement index (set by the kernel).
+	Step int64
+}
+
+// SchedKind identifies a scheduling event.
+type SchedKind int
+
+// Scheduling event kinds.
+const (
+	SchedArrive   SchedKind = iota + 1 // thinking process began an invocation
+	SchedPreempt                       // same-priority (quantum) preemption
+	SchedInvEnd                        // invocation completed
+	SchedProcDone                      // process program finished
+)
+
+// String returns a short mnemonic for the scheduling event kind.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedArrive:
+		return "arrive"
+	case SchedPreempt:
+		return "preempt"
+	case SchedInvEnd:
+		return "inv-end"
+	case SchedProcDone:
+		return "done"
+	default:
+		return "?"
+	}
+}
+
+// SchedEvent describes one scheduling event.
+type SchedEvent struct {
+	// Kind is the event kind.
+	Kind SchedKind
+	// Proc is the process the event concerns (for SchedPreempt, the
+	// preempted process).
+	Proc *Process
+	// By is the preempting process for SchedPreempt, nil otherwise.
+	By *Process
+	// Step is the global statement index at which the event occurred.
+	Step int64
+}
+
+// Observer receives simulation events. Implementations must not touch
+// shared memory or the system; they are called synchronously from the
+// kernel loop.
+type Observer interface {
+	// OnStatement is called after each executed statement.
+	OnStatement(ev StmtEvent)
+	// OnSchedule is called after each scheduling event.
+	OnSchedule(ev SchedEvent)
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Run executes the system to completion: it launches every process and
+// repeatedly grants one atomic statement to a legally schedulable
+// process until all programs finish. The schedule honors Axiom 1
+// (priority) and Axiom 2 (quantum) exactly; remaining freedom goes to
+// the configured Chooser.
+//
+// Run returns ErrStepLimit if Config.MaxSteps is exceeded, or an error
+// if any process program panicked. It must be called exactly once.
+func (s *System) Run() error {
+	if s.ran {
+		return ErrRunTwice
+	}
+	s.ran = true
+
+	for _, p := range s.procs {
+		go p.run()
+	}
+	// Collect each process's initial yield (thinking, or done for an
+	// empty program). After this point the invariant holds: every
+	// non-done process is blocked receiving from its fromKernel channel.
+	for _, p := range s.procs {
+		s.consume(p, <-p.toKernel)
+	}
+
+	for {
+		cands := s.candidates()
+		if len(cands) == 0 {
+			if s.allDone() {
+				break
+			}
+			return errors.New("sim: no schedulable process (internal invariant violated)")
+		}
+		if s.steps >= s.cfg.MaxSteps {
+			s.abortAll()
+			return fmt.Errorf("%w (limit %d)", ErrStepLimit, s.cfg.MaxSteps)
+		}
+		idx := 0
+		if len(cands) > 1 {
+			idx = s.cfg.Chooser.Pick(Decision{Candidates: cands, Step: s.steps})
+			if idx < 0 || idx >= len(cands) {
+				s.abortAll()
+				return fmt.Errorf("sim: chooser picked %d of %d candidates", idx, len(cands))
+			}
+		}
+		s.grant(cands[idx])
+	}
+
+	var errs []error
+	for _, p := range s.procs {
+		if p.err != nil {
+			errs = append(errs, p.err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *System) allDone() bool {
+	for _, p := range s.procs {
+		if p.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns, in deterministic (process ID) order, every process
+// that may legally execute the next atomic statement under Axioms 1–2.
+func (s *System) candidates() []*Process {
+	var out []*Process
+	for i := range s.byProc {
+		out = append(out, s.processorCandidates(i)...)
+	}
+	return out
+}
+
+// processorCandidates computes the schedulable set on processor i:
+//
+//   - Axiom 1: only processes at the maximal ready priority may run;
+//     thinking processes of strictly higher priority may arrive (and
+//     thereby preempt) at any moment.
+//   - Axiom 2: if the current quantum holder at the maximal ready level
+//     is protected (mid-guaranteed-quantum), it is the only runnable
+//     candidate at that level.
+//   - Thinking processes at the maximal ready level may arrive and run
+//     only if no protected holder blocks the level; arrivals at lower
+//     priorities are unobservable until they could run, so they are not
+//     candidates.
+func (s *System) processorCandidates(i int) []*Process {
+	maxReady := 0
+	for _, p := range s.byProc[i] {
+		if p.state == stateRunnable && p.pri > maxReady {
+			maxReady = p.pri
+		}
+	}
+	var out []*Process
+	if maxReady == 0 {
+		for _, p := range s.byProc[i] {
+			if p.state == stateThinking {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	holder := s.holders[i][maxReady]
+	blocked := holder != nil && holder.state == stateRunnable && holder.protected
+	for _, p := range s.byProc[i] {
+		switch {
+		case p.state == stateRunnable && p.pri == maxReady:
+			if !blocked || p == holder {
+				out = append(out, p)
+			}
+		case p.state == stateThinking && p.pri > maxReady:
+			out = append(out, p)
+		case p.state == stateThinking && p.pri == maxReady && !blocked:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// grant lets process p execute one atomic statement, performing all
+// scheduling bookkeeping (arrivals, same-priority preemptions, quantum
+// protection, invocation completion).
+func (s *System) grant(p *Process) {
+	i, lvl := p.processor, p.pri
+	if p.state == stateThinking {
+		s.observeSched(SchedEvent{Kind: SchedArrive, Proc: p, Step: s.steps})
+	}
+	if h := s.holders[i][lvl]; h != nil && h != p && h.state == stateRunnable {
+		// Same-priority preemption of the current quantum holder. Per
+		// Axiom 2 the victim is guaranteed Q of its own statements once
+		// it resumes (unless its invocation ends first).
+		h.protected = s.cfg.Quantum > 0
+		h.sinceResume = 0
+		h.preemptions++
+		s.observeSched(SchedEvent{Kind: SchedPreempt, Proc: h, By: p, Step: s.steps})
+	}
+	s.holders[i][lvl] = p
+
+	p.fromKernel <- grantRun
+	msg := <-p.toKernel
+
+	p.stmtsTotal++
+	p.stmtsThisInv++
+	p.sinceResume++
+	if p.protected && p.sinceResume >= s.cfg.Quantum {
+		p.protected = false
+	}
+	p.lastEvent.Step = s.steps
+	s.steps++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnStatement(p.lastEvent)
+	}
+	s.consume(p, msg)
+}
+
+// consume updates kernel-side state from a process's yield message.
+func (s *System) consume(p *Process, msg yieldMsg) {
+	switch msg.kind {
+	case yieldStmt:
+		p.state = stateRunnable
+	case yieldThinking, yieldDone:
+		wasRunning := p.state == stateRunnable
+		if msg.kind == yieldThinking {
+			p.state = stateThinking
+		} else {
+			p.state = stateDone
+		}
+		if wasRunning {
+			// Invocation completed: the quantum guarantee lapses and the
+			// level's holder slot frees.
+			p.protected = false
+			p.sinceResume = 0
+			if s.holders[p.processor][p.pri] == p {
+				delete(s.holders[p.processor], p.pri)
+			}
+			if p.stmtsThisInv > p.maxInvStmts {
+				p.maxInvStmts = p.stmtsThisInv
+			}
+			p.stmtsThisInv = 0
+			p.invIndex++
+			s.observeSched(SchedEvent{Kind: SchedInvEnd, Proc: p, Step: s.steps})
+		}
+		if msg.kind == yieldDone {
+			s.observeSched(SchedEvent{Kind: SchedProcDone, Proc: p, Step: s.steps})
+		}
+		// Dynamic priorities (§5): a pending priority change takes
+		// effect between invocations, never during one.
+		if p.state == stateThinking && p.invIndex < len(p.invPri) && p.invPri[p.invIndex] > 0 {
+			p.pri = p.invPri[p.invIndex]
+		}
+	}
+}
+
+func (s *System) observeSched(ev SchedEvent) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnSchedule(ev)
+	}
+}
+
+// abortAll unwinds every live process goroutine. It relies on the kernel
+// invariant that every non-done process is blocked on fromKernel.
+func (s *System) abortAll() {
+	for _, p := range s.procs {
+		for p.state != stateDone {
+			p.fromKernel <- grantAbort
+			msg := <-p.toKernel
+			if msg.kind == yieldDone {
+				p.state = stateDone
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// grantKind is the kernel→process message.
+type grantKind int
+
+const (
+	grantRun   grantKind = iota + 1 // execute one atomic statement
+	grantAbort                      // unwind and terminate immediately
+)
+
+// yieldKind is the process→kernel message.
+type yieldKind int
+
+const (
+	yieldStmt     yieldKind = iota + 1 // mid-invocation, requesting next statement
+	yieldThinking                      // between invocations, awaiting arrival
+	yieldDone                          // program finished (or aborted)
+)
+
+type yieldMsg struct {
+	kind yieldKind
+}
+
+// procState is the kernel's view of a process, derived from its last
+// yield message.
+type procState int
+
+const (
+	stateThinking procState = iota + 1 // awaiting arrival of next invocation
+	stateRunnable                      // mid-invocation, ready to run
+	stateDone                          // program finished
+)
+
+// errAborted is the panic value used to unwind a process goroutine when
+// the kernel aborts the run.
+var errAborted = fmt.Errorf("sim: process aborted")
+
+// Invocation is one object invocation executed by a process: the body
+// runs algorithm code against shared memory via the Ctx. Every
+// invocation must execute at least one atomic statement.
+type Invocation func(c *Ctx)
+
+// Process is a simulated process. Configure it before Run with
+// AddInvocation; inspect statistics after Run.
+type Process struct {
+	id        int
+	name      string
+	processor int
+	pri       int
+	sys       *System
+
+	invocations []Invocation
+	invPri      []int // per-invocation priority (0 = keep current)
+
+	toKernel   chan yieldMsg
+	fromKernel chan grantKind
+
+	// Kernel-side scheduling state.
+	state       procState
+	protected   bool // mid-quantum guarantee after a same-priority preemption
+	sinceResume int  // own statements since last same-priority preemption
+	preemptions int  // same-priority preemptions suffered
+
+	// Statistics.
+	invIndex     int
+	stmtsThisInv int64
+	stmtsTotal   int64
+	maxInvStmts  int64
+
+	// lastEvent describes the statement most recently executed; written
+	// by the process while it holds the baton, read by the kernel after
+	// the baton returns.
+	lastEvent StmtEvent
+
+	aborted bool
+	err     error
+}
+
+// ID returns the process's index in System.Processes order.
+func (p *Process) ID() int { return p.id }
+
+// Name returns the process's diagnostic name.
+func (p *Process) Name() string { return p.name }
+
+// Processor returns the index of the processor the process runs on.
+func (p *Process) Processor() int { return p.processor }
+
+// Priority returns the process's priority (1..V, V highest).
+func (p *Process) Priority() int { return p.pri }
+
+// AddInvocation appends an object invocation to the process's program.
+func (p *Process) AddInvocation(inv Invocation) *Process {
+	if p.sys.ran {
+		panic("sim: AddInvocation after Run")
+	}
+	p.invocations = append(p.invocations, inv)
+	p.invPri = append(p.invPri, 0)
+	return p
+}
+
+// AddInvocationPri appends an invocation to run at the given priority,
+// supporting the paper's §5 dynamic-priority systems: a process's
+// priority may change between invocations but never during one. The
+// priority takes effect when the previous invocation completes.
+func (p *Process) AddInvocationPri(pri int, inv Invocation) *Process {
+	if p.sys.ran {
+		panic("sim: AddInvocationPri after Run")
+	}
+	if pri < 1 {
+		panic(fmt.Sprintf("sim: priority must be >= 1, got %d", pri))
+	}
+	p.invocations = append(p.invocations, inv)
+	p.invPri = append(p.invPri, pri)
+	return p
+}
+
+// StmtsTotal returns the total statements the process executed.
+func (p *Process) StmtsTotal() int64 { return p.stmtsTotal }
+
+// MaxInvStmts returns the maximum statements executed in any single
+// invocation — the process's worst-case wait-free step bound in this run.
+func (p *Process) MaxInvStmts() int64 { return p.maxInvStmts }
+
+// Preemptions returns how many same-priority preemptions the process
+// suffered.
+func (p *Process) Preemptions() int { return p.preemptions }
+
+// CompletedInvocations returns how many invocations the process finished.
+func (p *Process) CompletedInvocations() int { return p.invIndex }
+
+// Err returns the panic value, if any, with which the process's program
+// failed (nil for clean completion or kernel-initiated abort).
+func (p *Process) Err() error { return p.err }
+
+// run is the process goroutine body.
+func (p *Process) run() {
+	c := &Ctx{p: p}
+	defer func() {
+		if r := recover(); r != nil && r != errAborted { //nolint:errorlint // sentinel identity
+			p.err = fmt.Errorf("sim: process %s panicked: %v", p.name, r)
+		}
+		p.toKernel <- yieldMsg{kind: yieldDone}
+	}()
+	for i := range p.invocations {
+		p.await()
+		c.hasGrant = true
+		p.invocations[i](c)
+		if c.hasGrant {
+			panic(fmt.Sprintf("sim: invocation %d of %s executed no statements", i, p.name))
+		}
+	}
+}
+
+// await parks the process as thinking until the kernel grants arrival.
+// The grant doubles as permission to execute the first statement of the
+// next invocation.
+func (p *Process) await() {
+	p.toKernel <- yieldMsg{kind: yieldThinking}
+	if <-p.fromKernel == grantAbort {
+		p.aborted = true
+		panic(errAborted)
+	}
+}
+
+// Ctx is a process's handle to shared memory. Each method executes
+// exactly the number of atomic statements its paper counterpart does.
+// A Ctx is only valid inside the invocation it was passed to.
+type Ctx struct {
+	p        *Process
+	hasGrant bool
+}
+
+// ID returns the process identifier (0-based).
+func (c *Ctx) ID() int { return c.p.id }
+
+// Now returns the global statement count — a logical timestamp usable
+// for history recording (e.g. linearizability checking). It executes no
+// statement.
+func (c *Ctx) Now() int64 { return c.p.sys.steps }
+
+// Pri returns the process priority (1..V, V highest).
+func (c *Ctx) Pri() int { return c.p.pri }
+
+// Processor returns the index of the processor the process runs on.
+func (c *Ctx) Processor() int { return c.p.processor }
+
+// stmt blocks until the kernel grants one atomic statement.
+func (c *Ctx) stmt() {
+	if c.p.aborted {
+		panic(errAborted)
+	}
+	if c.hasGrant {
+		c.hasGrant = false
+		return
+	}
+	c.p.toKernel <- yieldMsg{kind: yieldStmt}
+	if <-c.p.fromKernel == grantAbort {
+		c.p.aborted = true
+		panic(errAborted)
+	}
+}
+
+// Read atomically reads register r (one statement).
+func (c *Ctx) Read(r *mem.Reg) mem.Word {
+	c.stmt()
+	v := r.Load()
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpRead, Object: r.Name(), Value: v}
+	return v
+}
+
+// Write atomically writes v to register r (one statement).
+func (c *Ctx) Write(r *mem.Reg, v mem.Word) {
+	c.stmt()
+	r.Store(v)
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpWrite, Object: r.Name(), Value: v}
+}
+
+// CCons invokes C-consensus object o with proposal v (one statement) and
+// returns the object's response (the decided value, or ⊥ after the C-th
+// invocation).
+func (c *Ctx) CCons(o *mem.ConsObject, v mem.Word) mem.Word {
+	c.stmt()
+	out := o.Invoke(v)
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpCons, Object: o.Name(), Value: out}
+	return out
+}
+
+// CASPrim performs a hardware compare-and-swap on primitive object o
+// (one statement). Baseline comparators only; the paper's algorithms use
+// nothing stronger than registers and C-consensus objects.
+func (c *Ctx) CASPrim(o *mem.CASObject, old, new mem.Word) bool {
+	c.stmt()
+	ok := o.CompareAndSwap(old, new)
+	v := mem.Word(0)
+	if ok {
+		v = 1
+	}
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpCons, Object: o.Name(), Value: v}
+	return ok
+}
+
+// LoadPrim reads primitive CAS object o (one statement).
+func (c *Ctx) LoadPrim(o *mem.CASObject) mem.Word {
+	c.stmt()
+	v := o.Load()
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpRead, Object: o.Name(), Value: v}
+	return v
+}
+
+// Local executes n counted local statements (no shared access). Use it
+// to honor the paper's numbered-statement quantum accounting (e.g. the
+// "v := val" in Fig. 3).
+func (c *Ctx) Local(n int) {
+	for i := 0; i < n; i++ {
+		c.stmt()
+		c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpLocal}
+	}
+}

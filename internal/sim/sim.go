@@ -1,0 +1,198 @@
+// Package sim implements a deterministic statement-level simulator of
+// the multiprogrammed systems studied by Anderson & Moir (PODC 1999):
+// N processes statically assigned to P processors, each processor
+// running a hybrid scheduler that combines priority-based and
+// quantum-based scheduling.
+//
+// # Model
+//
+// Execution proceeds one atomic statement at a time (the standard
+// interleaving model for asynchronous shared memory). A statement is a
+// shared read, a shared write, a C-consensus invocation, or an
+// explicitly counted local statement. The paper measures the quantum Q
+// in statements ("we find it convenient to more abstractly view a
+// quantum as specifying a statement count"); so does the simulator.
+//
+// The per-processor hybrid schedulers enforce the paper's two axioms:
+//
+//   - Axiom 1 (priority-based scheduling): whenever a higher-priority
+//     process on a processor is ready, it runs; lower-priority processes
+//     are preempted immediately.
+//   - Axiom 2 (quantum-based scheduling): a process executes at least Q
+//     of its own statements between preemptions by processes of equal
+//     priority, even if higher-priority processes preempt it in between;
+//     the guarantee lapses when the process's current object invocation
+//     terminates. A process that has not yet been preempted (within its
+//     current invocation) may suffer its first preemption at any time —
+//     its execution aligns arbitrarily with quantum boundaries, as the
+//     paper's Preemption Axiom allows.
+//
+// All remaining nondeterminism — which processor advances, when thinking
+// processes arrive, which equal-priority process receives the next
+// quantum, and when legal preemptions actually happen — is delegated to
+// a Chooser. Choosers range from seeded random schedulers to the crafted
+// adversaries used in the paper's lower-bound proof and the exhaustive
+// explorer in internal/check.
+//
+// # Mechanics
+//
+// Each process is a goroutine; a single kernel goroutine (the caller of
+// Run) hands a baton to one process at a time. The process executes
+// exactly one atomic statement per grant and yields. Because the kernel
+// blocks until the statement completes, shared accesses need no further
+// synchronization.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decision describes one scheduling decision point: the set of processes
+// any one of which may legally execute the next atomic statement.
+// Candidates are ordered deterministically (by process ID).
+type Decision struct {
+	// Candidates holds the legally runnable processes; len ≥ 2 (the
+	// kernel resolves singleton decisions itself).
+	Candidates []*Process
+	// Step is the number of statements executed so far.
+	Step int64
+}
+
+// Chooser resolves scheduling nondeterminism. Pick must return an index
+// into d.Candidates.
+type Chooser interface {
+	Pick(d Decision) int
+}
+
+// ChooserFunc adapts a function to the Chooser interface.
+type ChooserFunc func(d Decision) int
+
+// Pick implements Chooser.
+func (f ChooserFunc) Pick(d Decision) int { return f(d) }
+
+// FirstChooser always picks the first (lowest-ID) candidate. It yields a
+// deterministic, preemption-averse schedule: a process runs until its
+// invocation ends unless a lower-ID process arrives at equal priority.
+type FirstChooser struct{}
+
+// Pick implements Chooser.
+func (FirstChooser) Pick(Decision) int { return 0 }
+
+// Config parameterizes a simulated system.
+type Config struct {
+	// Processors is the number of processors P (≥ 1).
+	Processors int
+	// Quantum is the scheduling quantum Q in atomic statements (≥ 0).
+	// Q = 0 means equal-priority preemptions may occur at every
+	// statement boundary (a purely priority-scheduled system).
+	Quantum int
+	// Chooser resolves nondeterminism; nil defaults to FirstChooser.
+	Chooser Chooser
+	// MaxSteps bounds the total number of statements executed; the run
+	// fails with ErrStepLimit when exceeded. 0 defaults to 1<<22.
+	MaxSteps int64
+	// Observer, if non-nil, receives statement and scheduling events.
+	Observer Observer
+}
+
+// Errors returned by Run.
+var (
+	// ErrStepLimit reports that the run exceeded Config.MaxSteps. Under
+	// an unfair chooser this is how non-termination manifests.
+	ErrStepLimit = errors.New("sim: statement limit exceeded")
+	// ErrRunTwice reports a second Run call on the same System.
+	ErrRunTwice = errors.New("sim: system already run")
+)
+
+// System is a configured multiprogrammed system: processors, processes,
+// and their programs. Build one with New and AddProcess, then call Run
+// exactly once. A System is not safe for concurrent use.
+type System struct {
+	cfg     Config
+	procs   []*Process
+	byProc  [][]*Process // processes per processor
+	holders []map[int]*Process
+	steps   int64
+	ran     bool
+	failure error
+}
+
+// New returns an empty system with the given configuration.
+func New(cfg Config) *System {
+	if cfg.Processors < 1 {
+		panic(fmt.Sprintf("sim: need >= 1 processor, got %d", cfg.Processors))
+	}
+	if cfg.Quantum < 0 {
+		panic(fmt.Sprintf("sim: negative quantum %d", cfg.Quantum))
+	}
+	if cfg.Chooser == nil {
+		cfg.Chooser = FirstChooser{}
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 1 << 22
+	}
+	s := &System{
+		cfg:     cfg,
+		byProc:  make([][]*Process, cfg.Processors),
+		holders: make([]map[int]*Process, cfg.Processors),
+	}
+	for i := range s.holders {
+		s.holders[i] = make(map[int]*Process)
+	}
+	return s
+}
+
+// ProcSpec describes a process to add to a system.
+type ProcSpec struct {
+	// Name is a diagnostic label; defaults to "p<ID>".
+	Name string
+	// Processor is the processor index in [0, Config.Processors).
+	Processor int
+	// Priority is the process's priority, 1..V with V highest, matching
+	// the paper's convention. Must be ≥ 1.
+	Priority int
+}
+
+// AddProcess registers a process. Its program is the sequence of object
+// invocations added with Process.AddInvocation; between invocations the
+// process is "thinking" and arrives when the scheduler (Chooser) elects.
+func (s *System) AddProcess(spec ProcSpec) *Process {
+	if s.ran {
+		panic("sim: AddProcess after Run")
+	}
+	if spec.Processor < 0 || spec.Processor >= s.cfg.Processors {
+		panic(fmt.Sprintf("sim: processor %d out of range [0,%d)", spec.Processor, s.cfg.Processors))
+	}
+	if spec.Priority < 1 {
+		panic(fmt.Sprintf("sim: priority must be >= 1, got %d", spec.Priority))
+	}
+	p := &Process{
+		id:         len(s.procs),
+		name:       spec.Name,
+		processor:  spec.Processor,
+		pri:        spec.Priority,
+		sys:        s,
+		toKernel:   make(chan yieldMsg),
+		fromKernel: make(chan grantKind),
+	}
+	if p.name == "" {
+		p.name = fmt.Sprintf("p%d", p.id)
+	}
+	s.procs = append(s.procs, p)
+	s.byProc[spec.Processor] = append(s.byProc[spec.Processor], p)
+	return p
+}
+
+// Steps returns the number of statements executed so far.
+func (s *System) Steps() int64 { return s.steps }
+
+// Processes returns the registered processes in ID order. The returned
+// slice must not be modified.
+func (s *System) Processes() []*Process { return s.procs }
+
+// Quantum returns the configured scheduling quantum Q.
+func (s *System) Quantum() int { return s.cfg.Quantum }
+
+// NumProcessors returns the configured processor count P.
+func (s *System) NumProcessors() int { return s.cfg.Processors }

@@ -1,0 +1,155 @@
+// Package trace records simulation events and renders them as ASCII
+// interleaving timelines in the style of the paper's Fig. 1 and Fig. 2:
+// one row per process, time running left to right one column per atomic
+// statement, object invocations between '[' and ']', with preemptions
+// marked.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Recorder implements sim.Observer, buffering events for rendering.
+type Recorder struct {
+	stmts  []sim.StmtEvent
+	scheds []sim.SchedEvent
+	limit  int
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder returns a recorder buffering up to limit statements
+// (0 = 4096).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &Recorder{limit: limit}
+}
+
+// OnStatement implements sim.Observer.
+func (r *Recorder) OnStatement(ev sim.StmtEvent) {
+	if len(r.stmts) < r.limit {
+		r.stmts = append(r.stmts, ev)
+	}
+}
+
+// OnSchedule implements sim.Observer.
+func (r *Recorder) OnSchedule(ev sim.SchedEvent) {
+	if len(r.scheds) < r.limit {
+		r.scheds = append(r.scheds, ev)
+	}
+}
+
+// Statements returns the recorded statement events.
+func (r *Recorder) Statements() []sim.StmtEvent { return r.stmts }
+
+// Schedules returns the recorded scheduling events.
+func (r *Recorder) Schedules() []sim.SchedEvent { return r.scheds }
+
+// Preemptions returns the number of recorded same-priority preemptions.
+func (r *Recorder) Preemptions() int {
+	n := 0
+	for _, ev := range r.scheds {
+		if ev.Kind == sim.SchedPreempt {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderOptions controls timeline rendering.
+type RenderOptions struct {
+	// Ops renders per-statement op mnemonics (R/W/C/L) instead of '='.
+	Ops bool
+	// MaxWidth wraps the timeline into bands of at most this many
+	// columns (0 = 120).
+	MaxWidth int
+}
+
+// Render produces the Fig. 1/2-style timeline. Each row is one process;
+// '[' marks an invocation's first statement, ']' its last, '=' (or the
+// op mnemonic) statements in between, '*' a single-statement invocation,
+// and '!' the first statement after suffering a same-priority
+// preemption.
+func (r *Recorder) Render(opts RenderOptions) string {
+	if len(r.stmts) == 0 {
+		return "(no statements recorded)\n"
+	}
+	width := int(r.stmts[len(r.stmts)-1].Step) + 1
+	maxw := opts.MaxWidth
+	if maxw <= 0 {
+		maxw = 120
+	}
+
+	// Collect processes in ID order.
+	procSet := map[*sim.Process]bool{}
+	for _, ev := range r.stmts {
+		procSet[ev.Proc] = true
+	}
+	procs := make([]*sim.Process, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].ID() < procs[j].ID() })
+
+	// Statement marks.
+	rows := map[*sim.Process][]byte{}
+	for _, p := range procs {
+		rows[p] = []byte(strings.Repeat(" ", width))
+	}
+	for _, ev := range r.stmts {
+		ch := byte('=')
+		if opts.Ops {
+			ch = ev.Op.String()[0]
+		}
+		rows[ev.Proc][ev.Step] = ch
+	}
+	// Invocation boundaries and preemption marks from scheduling events.
+	for _, ev := range r.scheds {
+		switch ev.Kind {
+		case sim.SchedArrive:
+			if ev.Step < int64(width) {
+				rows[ev.Proc][ev.Step] = '['
+			}
+		case sim.SchedInvEnd, sim.SchedProcDone:
+			if s := ev.Step - 1; s >= 0 && s < int64(width) && rows[ev.Proc][s] != ' ' && rows[ev.Proc][s] != '[' {
+				rows[ev.Proc][s] = ']'
+			}
+		case sim.SchedPreempt:
+			// Mark the preempted process's next statement with '!'.
+			for s := ev.Step; s < int64(width); s++ {
+				if rows[ev.Proc][s] != ' ' {
+					rows[ev.Proc][s] = '!'
+					break
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	nameW := 0
+	for _, p := range procs {
+		if len(p.Name()) > nameW {
+			nameW = len(p.Name())
+		}
+	}
+	for off := 0; off < width; off += maxw {
+		end := off + maxw
+		if end > width {
+			end = width
+		}
+		if off > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%*s  t=%d..%d\n", nameW, "", off, end-1)
+		for _, p := range procs {
+			fmt.Fprintf(&b, "%-*s  %s\n", nameW, p.Name(), string(rows[p][off:end]))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func runTraced(t *testing.T, ch sim.Chooser) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 3, Chooser: ch, Observer: rec})
+	r := mem.NewReg("x")
+	for i := 0; i < 3; i++ {
+		i := i
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: []string{"p", "q", "r"}[i]}).
+			AddInvocation(func(c *sim.Ctx) {
+				for k := 0; k < 4; k++ {
+					c.Write(r, mem.Word(i))
+					c.Read(r)
+				}
+			})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rec
+}
+
+func TestRenderContainsProcessRows(t *testing.T) {
+	rec := runTraced(t, sched.NewRotate())
+	out := rec.Render(trace.RenderOptions{})
+	for _, name := range []string{"p", "q", "r"} {
+		if !strings.Contains(out, name+" ") && !strings.HasPrefix(out, name) {
+			t.Fatalf("render missing row for %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "[") {
+		t.Fatalf("render missing invocation-start marks:\n%s", out)
+	}
+}
+
+func TestRenderMarksPreemptions(t *testing.T) {
+	rec := runTraced(t, sched.NewRotate())
+	if rec.Preemptions() == 0 {
+		t.Fatal("rotate schedule produced no preemptions")
+	}
+	out := rec.Render(trace.RenderOptions{})
+	if !strings.Contains(out, "!") {
+		t.Fatalf("render missing preemption marks:\n%s", out)
+	}
+}
+
+func TestRenderOpsMode(t *testing.T) {
+	rec := runTraced(t, sim.FirstChooser{})
+	out := rec.Render(trace.RenderOptions{Ops: true})
+	if !strings.Contains(out, "W") || !strings.Contains(out, "R") {
+		t.Fatalf("ops render missing R/W mnemonics:\n%s", out)
+	}
+}
+
+func TestRenderWrapsBands(t *testing.T) {
+	rec := runTraced(t, sim.FirstChooser{})
+	out := rec.Render(trace.RenderOptions{MaxWidth: 10})
+	if strings.Count(out, "t=") < 2 {
+		t.Fatalf("expected multiple bands with MaxWidth=10:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	rec := trace.NewRecorder(4)
+	if out := rec.Render(trace.RenderOptions{}); !strings.Contains(out, "no statements") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := trace.NewRecorder(5)
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 2, Observer: rec})
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+		AddInvocation(func(c *sim.Ctx) { c.Local(20) })
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rec.Statements()) != 5 {
+		t.Fatalf("recorded %d statements, want capped 5", len(rec.Statements()))
+	}
+	if len(rec.Schedules()) == 0 {
+		t.Fatal("no scheduling events recorded")
+	}
+}
+
+// TestOpString covers the op mnemonics.
+func TestOpString(t *testing.T) {
+	for op, want := range map[sim.Op]string{
+		sim.OpRead: "R", sim.OpWrite: "W", sim.OpCons: "C", sim.OpLocal: "L", sim.Op(99): "?",
+	} {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	for k, want := range map[sim.SchedKind]string{
+		sim.SchedArrive: "arrive", sim.SchedPreempt: "preempt",
+		sim.SchedInvEnd: "inv-end", sim.SchedProcDone: "done", sim.SchedKind(99): "?",
+	} {
+		if k.String() != want {
+			t.Fatalf("SchedKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package unicons implements the paper's Fig. 3 algorithm: wait-free,
+// constant-time consensus for any number of processes on one
+// hybrid-scheduled processor, using only reads and writes (Theorem 1).
+//
+// The algorithm copies a value from P[1] to P[2] to P[3] (0-indexed here
+// as P[0..2]); every process returns the value it reads in P[3]. It is
+// correct whenever the scheduling quantum Q ensures each process is
+// quantum-preempted at most once per invocation; the invocation is 8
+// statements, so Q ≥ 8 suffices (MinQuantum).
+//
+// The object is one-shot as a consensus object but supports an arbitrary
+// number of deciding processes, and is readable (ReadValue), which is how
+// Fig. 5 consults the nxt-pointer consensus cells.
+package unicons
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// MinQuantum is the smallest quantum for which Decide is guaranteed
+// correct on a hybrid-scheduled uniprocessor: the invocation is 8
+// statements, so Q ≥ 8 ensures at most one quantum preemption per
+// invocation (Theorem 1).
+const MinQuantum = 8
+
+// Stmts is the exact number of atomic statements executed by one Decide
+// invocation — constant, independent of the number of processes and
+// priority levels.
+const Stmts = 8
+
+// Object is a Fig. 3 consensus object: three shared registers, all
+// initially ⊥.
+type Object struct {
+	// P holds the three copy-chain registers (the paper's P[1..3]).
+	P []*mem.Reg
+}
+
+// New returns a fresh consensus object.
+func New(name string) *Object {
+	return &Object{P: mem.NewRegArray(name+".P", 3)}
+}
+
+// Decide performs the Fig. 3 decide(val) operation for the calling
+// process and returns the consensus value. val must not be ⊥.
+//
+// Statement accounting matches the paper's straight-line expansion
+// (8 statements): v := val; then for each of the three registers a read
+// followed by either a local assignment or a write; then the final read
+// of P[3].
+func (o *Object) Decide(c *sim.Ctx, val mem.Word) mem.Word {
+	if val == mem.Bottom {
+		panic(fmt.Sprintf("unicons: process %d proposed ⊥", c.ID()))
+	}
+	c.Local(1) // statement 1: v := val
+	v := val
+	for i := 0; i < 3; i++ {
+		w := c.Read(o.P[i]) // statement 3: w := P[i]
+		if w != mem.Bottom {
+			v = w
+			c.Local(1) // statement 5: v := w
+		} else {
+			c.Write(o.P[i], v) // statement 6: P[i] := v
+		}
+	}
+	return c.Read(o.P[2]) // statement 7: return P[3]
+}
+
+// ReadValue reads the consensus object without deciding: it returns ⊥ if
+// no decision is visible yet, and otherwise joins the copy chain to
+// return the decided value. This is the read implementation the paper
+// gives for Fig. 5: "if P[1] = ⊥ then return ⊥ else return decide(P[1])".
+func (o *Object) ReadValue(c *sim.Ctx) mem.Word {
+	w := c.Read(o.P[0])
+	if w == mem.Bottom {
+		return mem.Bottom
+	}
+	return o.Decide(c, w)
+}
+
+// Peek returns the current value of P[3] without executing statements.
+// It is a post-run inspection helper for tests and must not be called
+// from algorithm code.
+func (o *Object) Peek() mem.Word { return o.P[2].Load() }

@@ -1,0 +1,144 @@
+package universal_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/universal"
+)
+
+// TestQueueMatchesModel property-checks the queue against a plain Go
+// slice model under sequential (single-process) execution: for any
+// random op sequence, every return value and the final contents match.
+func TestQueueMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 32, MaxSteps: 1 << 20})
+		q := universal.NewQueue("q")
+		var model []mem.Word
+		okAll := true
+		p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+		for _, op := range ops {
+			op := op
+			p.AddInvocation(func(c *sim.Ctx) {
+				if op%2 == 0 { // enqueue
+					item := mem.Word(op >> 1)
+					ret := q.Enq(c, item)
+					if int(ret) != len(model) {
+						okAll = false
+					}
+					model = append(model, item)
+				} else { // dequeue
+					ret := q.Deq(c)
+					if len(model) == 0 {
+						if ret != universal.QueueEmpty {
+							okAll = false
+						}
+						return
+					}
+					if ret != model[0] {
+						okAll = false
+					}
+					model = model[1:]
+				}
+			})
+		}
+		if len(ops) == 0 {
+			return true
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return okAll && q.PeekLen() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCounterMatchesModel property-checks the counter against integer
+// arithmetic for random add sequences.
+func TestCounterMatchesModel(t *testing.T) {
+	f := func(deltas []uint16) bool {
+		if len(deltas) > 30 {
+			deltas = deltas[:30]
+		}
+		if len(deltas) == 0 {
+			return true
+		}
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 32, MaxSteps: 1 << 20})
+		ctr := universal.NewCounter("c", 7)
+		sum := mem.Word(7)
+		okAll := true
+		p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+		for _, d := range deltas {
+			d := mem.Word(d)
+			p.AddInvocation(func(c *sim.Ctx) {
+				if ctr.Add(c, d) != sum {
+					okAll = false
+				}
+				sum += d
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return okAll && ctr.Peek() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCustomUniversalObject exercises New with a bespoke spec (a max
+// register) to pin the extension point.
+func TestCustomUniversalObject(t *testing.T) {
+	maxApply := func(state any, op mem.Word) (any, mem.Word) {
+		v := state.(mem.Word)
+		if op > v {
+			return op, v
+		}
+		return v, v
+	}
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 32})
+	o := universal.New("max", mem.Word(0), maxApply)
+	var rets []mem.Word
+	p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+	for _, v := range []mem.Word{5, 3, 9, 7} {
+		v := v
+		p.AddInvocation(func(c *sim.Ctx) { rets = append(rets, o.Invoke(c, v)) })
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []mem.Word{0, 5, 5, 9}
+	for i := range want {
+		if rets[i] != want[i] {
+			t.Fatalf("rets = %v, want %v", rets, want)
+		}
+	}
+	if o.PeekState().(mem.Word) != 9 {
+		t.Fatalf("final state = %v, want 9", o.PeekState())
+	}
+	if o.Ops() != 4 {
+		t.Fatalf("ops = %d, want 4", o.Ops())
+	}
+}
+
+// TestOpWordLimit pins the 32-bit op-word guard.
+func TestOpWordLimit(t *testing.T) {
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 32})
+	o := universal.New("x", mem.Word(0), func(s any, op mem.Word) (any, mem.Word) { return s, 0 })
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+		AddInvocation(func(c *sim.Ctx) {
+			c.Local(1)
+			o.Invoke(c, 1<<33)
+		})
+	if err := sys.Run(); err == nil {
+		t.Fatal("oversized op word accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package universal_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/universal"
+)
+
+// TestStackMatchesModel property-checks the stack against a slice model
+// under sequential execution.
+func TestStackMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		if len(ops) == 0 {
+			return true
+		}
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 32, MaxSteps: 1 << 20})
+		st := universal.NewStack("s")
+		var model []mem.Word
+		okAll := true
+		p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+		for _, op := range ops {
+			op := op
+			p.AddInvocation(func(c *sim.Ctx) {
+				if op%2 == 0 {
+					item := mem.Word(op >> 1)
+					if int(st.Push(c, item)) != len(model) {
+						okAll = false
+					}
+					model = append(model, item)
+				} else {
+					ret := st.Pop(c)
+					if len(model) == 0 {
+						if ret != universal.StackEmpty {
+							okAll = false
+						}
+						return
+					}
+					if ret != model[len(model)-1] {
+						okAll = false
+					}
+					model = model[:len(model)-1]
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return okAll && st.PeekLen() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStackConcurrentConservation fuzzes concurrent pushers/poppers:
+// items are conserved and never duplicated.
+func TestStackConcurrentConservation(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		const pushers, perPusher = 3, 3
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 32, Chooser: ch, MaxSteps: 1 << 20})
+		st := universal.NewStack("s")
+		var popped []mem.Word
+		for i := 0; i < pushers; i++ {
+			i := i
+			p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%2})
+			for k := 0; k < perPusher; k++ {
+				k := k
+				p.AddInvocation(func(c *sim.Ctx) { st.Push(c, mem.Word(i*100+k)) })
+			}
+		}
+		popper := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 2})
+		for k := 0; k < pushers*perPusher; k++ {
+			popper.AddInvocation(func(c *sim.Ctx) {
+				if v := st.Pop(c); v != universal.StackEmpty {
+					popped = append(popped, v)
+				}
+			})
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			seen := map[mem.Word]bool{}
+			for _, v := range popped {
+				if seen[v] {
+					return fmt.Errorf("item %d popped twice", v)
+				}
+				seen[v] = true
+			}
+			if len(popped)+st.PeekLen() != pushers*perPusher {
+				return fmt.Errorf("items lost: popped %d + remaining %d != %d",
+					len(popped), st.PeekLen(), pushers*perPusher)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+	res := check.Fuzz(build, 300, check.Options{})
+	if !res.OK() {
+		t.Fatalf("violation: %+v", res.First())
+	}
+}

@@ -1,0 +1,189 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPISmoke drives every major public entry point once.
+func TestPublicAPISmoke(t *testing.T) {
+	sys := repro.NewSystem(repro.Config{
+		Processors: 1,
+		Quantum:    repro.RecommendedQuantum,
+		Chooser:    repro.NewRandomScheduler(1),
+	})
+	cons := repro.NewConsensus("c")
+	cas := repro.NewCAS("cas", 2, 0)
+	ctr := repro.NewCounter("ctr", 0)
+	q := repro.NewQueue("q")
+	var consOut, casVal, deq repro.Word
+	sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1}).
+		AddInvocation(func(c *repro.Ctx) {
+			consOut = cons.Decide(c, 11)
+			cas.CompareAndSwap(c, 0, 5)
+			casVal = cas.Read(c)
+			ctr.Inc(c)
+			q.Enq(c, 9)
+			deq = q.Deq(c)
+		})
+	sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 2}).
+		AddInvocation(func(c *repro.Ctx) {
+			cons.Decide(c, 22)
+			ctr.Inc(c)
+		})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if consOut != 11 && consOut != 22 {
+		t.Fatalf("consensus = %d", consOut)
+	}
+	if casVal != 5 || deq != 9 || ctr.Peek() != 2 {
+		t.Fatalf("cas=%d deq=%d ctr=%d", casVal, deq, ctr.Peek())
+	}
+}
+
+// TestQuantumConstantsExported pins the documented bounds.
+func TestQuantumConstantsExported(t *testing.T) {
+	if repro.MinQuantumConsensus != 8 {
+		t.Fatalf("MinQuantumConsensus = %d, want 8 (Theorem 1)", repro.MinQuantumConsensus)
+	}
+	if repro.MinQuantumCAS != 8 {
+		t.Fatalf("MinQuantumCAS = %d", repro.MinQuantumCAS)
+	}
+	if repro.RecommendedQuantum < repro.MinQuantumConsensus {
+		t.Fatal("RecommendedQuantum below the safety bound")
+	}
+}
+
+// TestTraceRecorderPublic exercises tracing through the facade.
+func TestTraceRecorderPublic(t *testing.T) {
+	rec := repro.NewTraceRecorder(0)
+	sys := repro.NewSystem(repro.Config{
+		Processors: 1, Quantum: 8, Observer: rec,
+		Chooser: repro.NewRotateScheduler(),
+	})
+	cons := repro.NewConsensus("c")
+	for i := 0; i < 3; i++ {
+		sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *repro.Ctx) { cons.Decide(c, 1) })
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := rec.Render(repro.TraceRenderOptions{Ops: true})
+	if len(out) == 0 {
+		t.Fatal("empty trace render")
+	}
+}
+
+// ExampleNewConsensus demonstrates Theorem 1: constant-time wait-free
+// consensus from reads and writes on one hybrid-scheduled processor.
+func ExampleNewConsensus() {
+	sys := repro.NewSystem(repro.Config{
+		Processors: 1,
+		Quantum:    repro.MinQuantumConsensus, // Q >= 8
+	})
+	cons := repro.NewConsensus("example")
+	outs := make([]repro.Word, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1 + i}).
+			AddInvocation(func(c *repro.Ctx) {
+				outs[i] = cons.Decide(c, repro.Word(i+1))
+			})
+	}
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(outs[0] == outs[1] && outs[1] == outs[2])
+	// Output: true
+}
+
+// ExampleNewCounter demonstrates the universal construction: a
+// linearizable wait-free counter shared across priority levels.
+func ExampleNewCounter() {
+	sys := repro.NewSystem(repro.Config{
+		Processors: 1,
+		Quantum:    repro.RecommendedQuantum,
+		Chooser:    repro.NewRandomScheduler(7),
+	})
+	ctr := repro.NewCounter("tickets", 0)
+	tickets := make([]int, 0, 6)
+	for i := 0; i < 3; i++ {
+		p := sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1 + i%2})
+		for k := 0; k < 2; k++ {
+			p.AddInvocation(func(c *repro.Ctx) {
+				tickets = append(tickets, int(ctr.Inc(c)))
+			})
+		}
+	}
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	sort.Ints(tickets)
+	fmt.Println(tickets)
+	// Output: [0 1 2 3 4 5]
+}
+
+// ExampleNewMultiConsensus demonstrates Theorem 4: 3-consensus objects
+// deciding for 4 processes on 2 processors.
+func ExampleNewMultiConsensus() {
+	sys := repro.NewSystem(repro.Config{
+		Processors: 2,
+		Quantum:    2048,
+		MaxSteps:   1 << 22,
+	})
+	alg := repro.NewMultiConsensus(repro.MultiConsensusConfig{
+		Name: "ex", P: 2, K: 1, M: 2, V: 1,
+	})
+	outs := make([]repro.Word, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		sys.AddProcess(repro.ProcSpec{Processor: i % 2, Priority: 1}).
+			AddInvocation(func(c *repro.Ctx) {
+				outs[i] = alg.Decide(c, repro.Word(i+1))
+			})
+	}
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	agreed := true
+	for _, o := range outs {
+		agreed = agreed && o == outs[0]
+	}
+	fmt.Println(agreed)
+	// Output: true
+}
+
+// ExampleExploreBudget demonstrates the model checker exhibiting the
+// quantum lower bound: at Q=2 the Fig. 3 algorithm has a disagreement
+// schedule.
+func ExampleExploreBudget() {
+	build := func(ch repro.Scheduler) (*repro.System, repro.Verify) {
+		sys := repro.NewSystem(repro.Config{Processors: 1, Quantum: 2, Chooser: ch})
+		cons := repro.NewConsensus("c")
+		outs := make([]repro.Word, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *repro.Ctx) { outs[i] = cons.Decide(c, repro.Word(i+1)) })
+		}
+		return sys, func(runErr error) error {
+			if runErr != nil {
+				return runErr
+			}
+			for _, o := range outs {
+				if o != outs[0] {
+					return fmt.Errorf("disagreement")
+				}
+			}
+			return nil
+		}
+	}
+	res := repro.ExploreBudget(build, 3, repro.ExploreOptions{StopAtFirst: true})
+	fmt.Println(res.OK())
+	// Output: false
+}
