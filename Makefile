@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench examples experiments soak clean
+.PHONY: all build vet test test-short test-race bench examples experiments soak clean
 
 all: build vet test
 
@@ -17,6 +17,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/check"
 	"repro/internal/mem"
@@ -23,17 +24,19 @@ import (
 
 func main() {
 	var (
-		alg    = flag.String("alg", "fig3", "algorithm: fig3|fig7")
-		n      = flag.Int("n", 2, "processes (fig3)")
-		v      = flag.Int("v", 1, "priority levels")
-		p      = flag.Int("p", 2, "processors (fig7)")
-		k      = flag.Int("k", 0, "C = P+K (fig7)")
-		m      = flag.Int("m", 1, "processes per processor (fig7)")
-		q      = flag.Int("q", 8, "scheduling quantum")
-		mode   = flag.String("mode", "budget", "exploration: all|budget|fuzz")
-		budget = flag.Int("budget", 3, "context-switch deviation budget")
-		seeds  = flag.Int("seeds", 500, "fuzz seeds")
-		maxSch = flag.Int("max", 200000, "schedule cap")
+		alg      = flag.String("alg", "fig3", "algorithm: fig3|fig7")
+		n        = flag.Int("n", 2, "processes (fig3)")
+		v        = flag.Int("v", 1, "priority levels")
+		p        = flag.Int("p", 2, "processors (fig7)")
+		k        = flag.Int("k", 0, "C = P+K (fig7)")
+		m        = flag.Int("m", 1, "processes per processor (fig7)")
+		q        = flag.Int("q", 8, "scheduling quantum")
+		mode     = flag.String("mode", "budget", "exploration: all|budget|fuzz")
+		budget   = flag.Int("budget", 3, "context-switch deviation budget")
+		seeds    = flag.Int("seeds", 500, "fuzz seeds")
+		maxSch   = flag.Int("max", 200000, "schedule cap")
+		parallel = flag.Int("parallel", 0, "exploration workers (0 = all CPUs, 1 = sequential)")
+		progress = flag.Bool("progress", false, "report live schedules/sec and violation count on stderr")
 	)
 	flag.Parse()
 
@@ -48,7 +51,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := check.Options{MaxSchedules: *maxSch}
+	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel}
+	if *progress {
+		opts.Progress = func(info check.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "checker: %d schedules, %d violations, %.0f schedules/sec\n",
+				info.Schedules, info.Violations, info.SchedulesPerSec)
+		}
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	fmt.Printf("exploring with %d workers\n", workers)
 	var res *check.Result
 	switch *mode {
 	case "all":
@@ -63,11 +77,14 @@ func main() {
 	}
 
 	fmt.Printf("explored %d schedules (truncated=%v)\n", res.Schedules, res.Truncated)
+	if res.Aliased > 0 {
+		fmt.Printf("skipped %d aliased replays (non-reentrant builder?)\n", res.Aliased)
+	}
 	if res.OK() {
 		fmt.Println("no violations found")
 		return
 	}
-	fmt.Printf("VIOLATIONS: %d\n", len(res.Violations))
+	fmt.Printf("VIOLATIONS: %d recorded of %d total\n", len(res.Violations), res.ViolationsTotal)
 	for _, viol := range res.Violations {
 		fmt.Printf("  %s: %v\n", viol.Schedule, viol.Err)
 	}

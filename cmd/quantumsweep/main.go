@@ -19,11 +19,12 @@ import (
 
 func main() {
 	var (
-		p     = flag.Int("p", 2, "processors")
-		m     = flag.Int("m", 3, "processes per processor")
-		v     = flag.Int("v", 1, "priority levels")
-		seeds = flag.Int("seeds", 150, "random schedules per battery")
-		grid  = flag.String("grid", "", "comma-separated quantum grid (default built-in)")
+		p        = flag.Int("p", 2, "processors")
+		m        = flag.Int("m", 3, "processes per processor")
+		v        = flag.Int("v", 1, "priority levels")
+		seeds    = flag.Int("seeds", 150, "random schedules per battery")
+		grid     = flag.String("grid", "", "comma-separated quantum grid (default built-in)")
+		parallel = flag.Int("parallel", 0, "workers per schedule battery (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,6 @@ func main() {
 			qGrid = append(qGrid, q)
 		}
 	}
-	rows := bench.Table1Sweep(*p, *m, *v, *seeds, qGrid)
+	rows := bench.Table1SweepPar(*p, *m, *v, *seeds, qGrid, *parallel)
 	fmt.Print(bench.RenderTable1(*p, *m, *v, rows))
 }

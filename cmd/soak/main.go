@@ -2,12 +2,16 @@
 // duration: randomized schedules over mixed workloads (Fig. 3 consensus,
 // Fig. 5 C&S with and without reclamation, level-local objects,
 // universal counter/queue/stack, Fig. 7 consensus), verifying every
-// run's invariants. Exit status is non-zero on the first violation.
+// run's invariants. Runs are dispatched to a pool of workers; each run's
+// workload is derived deterministically from the base seed and its run
+// index, so a failure reproduces with the same -seed at any -parallel
+// setting. Exit status is non-zero on the first violation.
 //
 // Usage:
 //
 //	soak -seconds 30
 //	soak -runs 500        # fixed run count instead of a time budget
+//	soak -runs 500 -parallel 1   # sequential
 package main
 
 import (
@@ -15,6 +19,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -22,34 +29,68 @@ import (
 
 func main() {
 	var (
-		seconds = flag.Int("seconds", 10, "time budget (ignored when -runs > 0)")
-		runs    = flag.Int("runs", 0, "fixed number of runs (0 = use -seconds)")
-		seed    = flag.Int64("seed", time.Now().UnixNano(), "base seed")
+		seconds  = flag.Int("seconds", 10, "time budget (ignored when -runs > 0)")
+		runs     = flag.Int("runs", 0, "fixed number of runs (0 = use -seconds)")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "base seed")
+		parallel = flag.Int("parallel", 0, "concurrent soak workers (0 = all CPUs)")
 	)
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
-	done := 0
-	fmt.Printf("soak: base seed %d\n", *seed)
-	for {
-		if *runs > 0 && done >= *runs {
-			break
-		}
-		if *runs == 0 && time.Now().After(deadline) {
-			break
-		}
-		if err := oneRun(rng); err != nil {
-			fmt.Fprintf(os.Stderr, "soak: FAILED after %d runs: %v\n", done, err)
-			os.Exit(1)
-		}
-		done++
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	fmt.Printf("soak: %d runs clean\n", done)
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	fmt.Printf("soak: base seed %d, %d workers\n", *seed, workers)
+
+	var (
+		next   atomic.Int64
+		done   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errRun int64
+		errOut error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				idx := next.Add(1) - 1
+				if *runs > 0 && idx >= int64(*runs) {
+					return
+				}
+				if *runs == 0 && time.Now().After(deadline) {
+					return
+				}
+				if err := oneRun(*seed, idx); err != nil {
+					mu.Lock()
+					if errOut == nil || idx < errRun {
+						errRun, errOut = idx, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if errOut != nil {
+		fmt.Fprintf(os.Stderr, "soak: FAILED at run %d (base seed %d) after %d clean runs: %v\n",
+			errRun, *seed, done.Load(), errOut)
+		os.Exit(1)
+	}
+	fmt.Printf("soak: %d runs clean\n", done.Load())
 }
 
-// oneRun builds a random mixed workload and verifies it.
-func oneRun(rng *rand.Rand) error {
+// oneRun builds run idx's random mixed workload from the base seed and
+// verifies it. All state is local to the call, so runs are safe to
+// execute concurrently.
+func oneRun(base, idx int64) error {
+	rng := rand.New(rand.NewSource(int64(uint64(base) + uint64(idx)*0x9e3779b97f4a7c15)))
 	n := 2 + rng.Intn(6)
 	levels := 1 + rng.Intn(3)
 	quantum := repro.RecommendedQuantum + rng.Intn(32)

@@ -7,7 +7,10 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/check"
 	"repro/internal/mem"
@@ -59,28 +62,48 @@ func fig7Builder(cfg multicons.Config, quantum int) check.Builder {
 // quantumHolds reports whether the Fig. 7 configuration passes a battery
 // of adversarial schedules at quantum q: the maximally-preempting Rotate
 // schedule, quantum-stagger adversaries at several alignment phases (the
-// Theorem 3 construction), and `seeds` pseudo-random schedules.
-func quantumHolds(cfg multicons.Config, q, seeds int) bool {
+// Theorem 3 construction), and `seeds` pseudo-random schedules. The
+// deterministic battery fans out over parallelism workers (0 = NumCPU),
+// and the fuzz sweep runs on the parallel explorer with the same worker
+// budget.
+func quantumHolds(cfg multicons.Config, q, seeds, parallelism int) bool {
 	build := fig7Builder(cfg, q)
 	adversaries := []sim.Chooser{sched.NewRotate()}
 	for phase := 0; phase < min(q, 8); phase++ {
 		adversaries = append(adversaries, sched.NewStagger(q, phase))
 	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	var failed atomic.Bool
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for _, adv := range adversaries {
-		sys, verify := build(adv)
-		if verify(sys.Run()) != nil {
-			return false
+		if failed.Load() {
+			break
 		}
+		adv := adv
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if failed.Load() {
+				return
+			}
+			sys, verify := build(adv)
+			if verify(sys.Run()) != nil {
+				failed.Store(true)
+			}
+		}()
 	}
-	res := check.Fuzz(build, seeds, check.Options{StopAtFirst: true})
+	wg.Wait()
+	if failed.Load() {
+		return false
+	}
+	res := check.Fuzz(build, seeds, check.Options{StopAtFirst: true, Parallelism: parallelism})
 	return res.OK()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Table1Row is one row of the reproduced Table 1: for consensus number
@@ -102,8 +125,16 @@ func DefaultQGrid() []int {
 // Table1Sweep reproduces Table 1 for a P-processor system with M
 // processes per processor over V priority levels: for each C in
 // [P, 2P+1] it sweeps the quantum grid under adversarial schedules and
-// records the empirical universality frontier.
+// records the empirical universality frontier. The per-point schedule
+// batteries run on the parallel explorer with the default worker count
+// (runtime.NumCPU()); use Table1SweepPar to control it.
 func Table1Sweep(p, m, v, seeds int, qGrid []int) []Table1Row {
+	return Table1SweepPar(p, m, v, seeds, qGrid, 0)
+}
+
+// Table1SweepPar is Table1Sweep with an explicit worker count per
+// schedule battery (0 = runtime.NumCPU(), 1 = sequential).
+func Table1SweepPar(p, m, v, seeds int, qGrid []int, parallelism int) []Table1Row {
 	if qGrid == nil {
 		qGrid = DefaultQGrid()
 	}
@@ -112,7 +143,7 @@ func Table1Sweep(p, m, v, seeds int, qGrid []int) []Table1Row {
 		cfg := multicons.Config{Name: "t1", P: p, K: k, M: m, V: v}
 		row := Table1Row{C: p + k, K: k, PaperFactor: max(2, 2*p+1-(p+k))}
 		for _, q := range qGrid {
-			if quantumHolds(cfg, q, seeds) {
+			if quantumHolds(cfg, q, seeds, parallelism) {
 				if row.MinWorkingQ == 0 {
 					row.MinWorkingQ = q
 				}
@@ -164,15 +195,9 @@ func RenderScaling(title, xlabel string, pts []ScalingPoint) string {
 	return b.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // ProbeQuantum runs the adversarial battery once for a single (K, Q)
-// point and returns the first violation found, or nil.
+// point and returns the first violation found, or nil. The fuzz sweep
+// runs on the parallel explorer with the default worker count.
 func ProbeQuantum(p, k, m, v, q, seeds int) error {
 	cfg := multicons.Config{Name: "probe", P: p, K: k, M: m, V: v}
 	build := fig7Builder(cfg, q)

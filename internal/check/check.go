@@ -16,12 +16,44 @@
 // Each run is built fresh by a Builder, executed, and then verified by
 // the Verify function the builder returned; violations are collected
 // with a replayable description of the offending schedule.
+//
+// # Parallel exploration
+//
+// All three explorers fan work out over Options.Parallelism worker
+// goroutines (default runtime.NumCPU()). ExploreAll and ExploreBudget
+// partition the schedule tree: workers claim disjoint decision-vector
+// subtrees from a shared work queue (a subtree hand-off is a pure
+// replay prefix, so no run state crosses workers). Fuzz shards the seed
+// range over workers via an atomic counter.
+//
+// Builder reentrancy contract: because the Builder is called
+// concurrently by the workers, it must be reentrant — every shared
+// object, output slice, history collector, and any other per-run state
+// must be created inside the builder, never captured from an enclosing
+// scope and reused across runs. (A check.History in particular records
+// one run at a time and must be created per build.) All builders in
+// this repository follow this contract; Parallelism: 1 restores strict
+// sequential execution for builders that cannot.
+//
+// Determinism guarantee: violations are merged in canonical schedule
+// order (lexicographic decision vector for ExploreAll, lexicographic
+// (index, choice) switch word for ExploreBudget, seed order for Fuzz),
+// so for explorations that run to completion the Result — Schedules,
+// Truncated, Violations, ViolationsTotal, and Result.First() — is
+// byte-identical run-to-run and identical to the sequential
+// (Parallelism: 1) engine, regardless of worker timing. When an
+// exploration is cut short (StopAtFirst fires, or MaxSchedules
+// truncates a parallel run), the number of schedules executed — and
+// therefore which violations were reachable — can depend on worker
+// timing; StopAtFirst still guarantees at least one violation is
+// returned if any exists, and First() is the canonically smallest
+// violation among those found.
 package check
 
 import (
-	"fmt"
+	"runtime"
+	"time"
 
-	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -33,7 +65,24 @@ type Verify func(runErr error) error
 
 // Builder constructs a fresh system (with fresh shared objects) wired to
 // the given chooser, returning the system and its outcome verifier.
+//
+// Builders must be reentrant: explorers call them from Parallelism
+// concurrent workers, so all per-run state must be created inside the
+// builder (see the package comment).
 type Builder func(ch sim.Chooser) (*sim.System, Verify)
+
+// ProgressInfo is a snapshot of a running exploration, delivered to
+// Options.Progress.
+type ProgressInfo struct {
+	// Schedules is the number of schedules executed so far.
+	Schedules int64
+	// Violations is the number of violations found so far (uncapped).
+	Violations int64
+	// Elapsed is the wall-clock time since the exploration started.
+	Elapsed time.Duration
+	// SchedulesPerSec is the mean throughput since the start.
+	SchedulesPerSec float64
+}
 
 // Options bounds an exploration.
 type Options struct {
@@ -41,8 +90,22 @@ type Options struct {
 	MaxSchedules int
 	// StopAtFirst stops at the first violation when true.
 	StopAtFirst bool
-	// MaxViolations caps recorded violations (0 = 16).
+	// MaxViolations caps recorded violations (0 = 16). Violations beyond
+	// the cap are dropped from Violations but still counted in
+	// ViolationsTotal.
 	MaxViolations int
+	// Parallelism is the number of worker goroutines exploring
+	// concurrently (0 = runtime.NumCPU(), 1 = strict sequential). The
+	// Builder must be reentrant for Parallelism > 1; see the package
+	// comment.
+	Parallelism int
+	// Progress, if non-nil, is called (serialized, from a worker
+	// goroutine) every ProgressEvery executed schedules with a
+	// throughput snapshot.
+	Progress func(ProgressInfo)
+	// ProgressEvery is the schedule interval between Progress calls
+	// (0 = 1000).
+	ProgressEvery int
 }
 
 func (o Options) maxSchedules() int {
@@ -59,6 +122,20 @@ func (o Options) maxViolations() int {
 	return o.MaxViolations
 }
 
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Parallelism
+}
+
+func (o Options) progressEvery() int64 {
+	if o.ProgressEvery <= 0 {
+		return 1000
+	}
+	return int64(o.ProgressEvery)
+}
+
 // Violation describes one failed run.
 type Violation struct {
 	// Schedule is a replayable description of the offending schedule.
@@ -71,128 +148,31 @@ type Violation struct {
 type Result struct {
 	// Schedules is the number of schedules executed.
 	Schedules int
-	// Violations holds recorded violations (capped).
+	// Violations holds recorded violations in canonical schedule order,
+	// capped at Options.MaxViolations.
 	Violations []Violation
+	// ViolationsTotal counts every violation found, including those the
+	// MaxViolations cap dropped from Violations: a capped Result is
+	// thereby distinguishable from one with exactly MaxViolations
+	// failures.
+	ViolationsTotal int
 	// Truncated reports whether MaxSchedules cut the exploration short.
 	Truncated bool
+	// Aliased counts replays skipped because a scripted decision was
+	// clamped (sched.Script.Clamped): such runs alias an in-range
+	// decision vector and would double-count schedules. Always zero for
+	// builders that are deterministic functions of the decision
+	// sequence.
+	Aliased int
 }
 
 // OK reports whether no violation was found.
 func (r *Result) OK() bool { return len(r.Violations) == 0 }
 
-// First returns the first violation, or nil.
+// First returns the first violation in canonical schedule order, or nil.
 func (r *Result) First() *Violation {
 	if len(r.Violations) == 0 {
 		return nil
 	}
 	return &r.Violations[0]
-}
-
-func (r *Result) add(opts Options, schedule string, err error) (stop bool) {
-	if len(r.Violations) < opts.maxViolations() {
-		r.Violations = append(r.Violations, Violation{Schedule: schedule, Err: err})
-	}
-	return opts.StopAtFirst
-}
-
-// ExploreAll exhaustively enumerates the full schedule tree (every
-// choice at every decision point) up to opts.MaxSchedules schedules.
-func ExploreAll(build Builder, opts Options) *Result {
-	res := &Result{}
-	var prefix []int
-	for {
-		if res.Schedules >= opts.maxSchedules() {
-			res.Truncated = true
-			return res
-		}
-		script := &sched.Script{Decisions: prefix}
-		sys, verify := build(script)
-		runErr := sys.Run()
-		res.Schedules++
-		if verr := verify(runErr); verr != nil {
-			if res.add(opts, fmt.Sprintf("decisions=%v", prefix), verr) {
-				return res
-			}
-		}
-		// Compute the full decision vector this run took (prefix, then
-		// implicit zeros), and advance it lexicographically.
-		taken := make([]int, len(script.Fanouts))
-		copy(taken, prefix)
-		i := len(taken) - 1
-		for i >= 0 && taken[i]+1 >= script.Fanouts[i] {
-			i--
-		}
-		if i < 0 {
-			return res
-		}
-		prefix = append(taken[:i:i], taken[i]+1)
-	}
-}
-
-// ExploreBudget exhaustively enumerates schedules that deviate from the
-// default continue-current-process schedule in at most budget decision
-// points. Deviation points are discovered lazily and placed in
-// increasing order, so every ≤budget-deviation schedule is covered
-// exactly once.
-func ExploreBudget(build Builder, budget int, opts Options) *Result {
-	res := &Result{}
-	var rec func(switches map[int64]int, minIndex int64, budget int) (stop bool)
-	rec = func(switches map[int64]int, minIndex int64, budget int) bool {
-		if res.Schedules >= opts.maxSchedules() {
-			res.Truncated = true
-			return true
-		}
-		ch := &sched.BudgetedSwitch{SwitchAt: switches}
-		sys, verify := build(ch)
-		runErr := sys.Run()
-		res.Schedules++
-		if verr := verify(runErr); verr != nil {
-			if res.add(opts, fmt.Sprintf("switches=%v", switches), verr) {
-				return true
-			}
-		}
-		if budget == 0 {
-			return false
-		}
-		fanouts := ch.Fanouts
-		taken := ch.Taken
-		for d := minIndex; d < int64(len(fanouts)); d++ {
-			for choice := 0; choice < fanouts[d]; choice++ {
-				if choice == taken[d] {
-					continue
-				}
-				next := make(map[int64]int, len(switches)+1)
-				for k, v := range switches {
-					next[k] = v
-				}
-				next[d] = choice
-				if rec(next, d+1, budget-1) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	rec(map[int64]int{}, 0, budget)
-	return res
-}
-
-// Fuzz runs nSeeds seeded pseudo-random schedules.
-func Fuzz(build Builder, nSeeds int, opts Options) *Result {
-	res := &Result{}
-	for seed := 0; seed < nSeeds; seed++ {
-		if res.Schedules >= opts.maxSchedules() {
-			res.Truncated = true
-			return res
-		}
-		sys, verify := build(sched.NewRandom(int64(seed)))
-		runErr := sys.Run()
-		res.Schedules++
-		if verr := verify(runErr); verr != nil {
-			if res.add(opts, fmt.Sprintf("seed=%d", seed), verr) {
-				return res
-			}
-		}
-	}
-	return res
 }

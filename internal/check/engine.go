@@ -1,0 +1,412 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// schedKey canonically orders schedules: lexicographic over the
+// elements, with a proper prefix ordered before its extensions. For
+// ExploreAll the key is the decision-vector prefix (work prefixes end
+// in a non-zero digit, so this matches zero-padded vector order); for
+// ExploreBudget it is the flattened (index, choice) switch word; for
+// Fuzz it is the seed.
+type schedKey []int64
+
+func keyLess(a, b schedKey) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+type keyedViolation struct {
+	key schedKey
+	v   Violation
+}
+
+// collector aggregates run outcomes across workers: it enforces
+// MaxSchedules via atomic slot claims, merges violations in canonical
+// schedule order, drives cooperative cancellation for StopAtFirst, and
+// emits Progress snapshots.
+type collector struct {
+	opts      Options
+	maxSched  int64
+	maxViol   int
+	claimed   atomic.Int64 // schedule slots claimed (bounded by maxSched)
+	counted   atomic.Int64 // schedules executed and counted
+	violTotal atomic.Int64
+	aliased   atomic.Int64
+	truncated atomic.Bool
+	stop      atomic.Bool
+
+	mu    sync.Mutex
+	viols []keyedViolation // sorted by key, capped at maxViol
+
+	start     time.Time
+	progEvery int64
+}
+
+func newCollector(opts Options) *collector {
+	return &collector{
+		opts:      opts,
+		maxSched:  int64(opts.maxSchedules()),
+		maxViol:   opts.maxViolations(),
+		start:     time.Now(),
+		progEvery: opts.progressEvery(),
+	}
+}
+
+func (c *collector) stopped() bool { return c.stop.Load() }
+
+// claim reserves one schedule slot; on failure the exploration is
+// truncated and cancelled.
+func (c *collector) claim() bool {
+	if c.stop.Load() {
+		return false
+	}
+	if c.claimed.Add(1) > c.maxSched {
+		c.claimed.Add(-1)
+		c.truncated.Store(true)
+		c.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+// unclaim releases a slot whose run turned out to be a clamped alias of
+// another schedule.
+func (c *collector) unclaim() {
+	c.claimed.Add(-1)
+	c.aliased.Add(1)
+}
+
+// count records one executed schedule and emits progress when due.
+func (c *collector) count() {
+	n := c.counted.Add(1)
+	if c.opts.Progress != nil && n%c.progEvery == 0 {
+		elapsed := time.Since(c.start)
+		info := ProgressInfo{Schedules: n, Violations: c.violTotal.Load(), Elapsed: elapsed}
+		if s := elapsed.Seconds(); s > 0 {
+			info.SchedulesPerSec = float64(n) / s
+		}
+		c.mu.Lock()
+		c.opts.Progress(info)
+		c.mu.Unlock()
+	}
+}
+
+// violation merges one violation into the canonically ordered, capped
+// list and triggers StopAtFirst cancellation.
+func (c *collector) violation(key schedKey, schedule string, err error) {
+	c.violTotal.Add(1)
+	c.mu.Lock()
+	i := sort.Search(len(c.viols), func(i int) bool { return keyLess(key, c.viols[i].key) })
+	if i < c.maxViol {
+		c.viols = append(c.viols, keyedViolation{})
+		copy(c.viols[i+1:], c.viols[i:])
+		c.viols[i] = keyedViolation{key: key, v: Violation{Schedule: schedule, Err: err}}
+		if len(c.viols) > c.maxViol {
+			c.viols = c.viols[:c.maxViol]
+		}
+	}
+	c.mu.Unlock()
+	if c.opts.StopAtFirst {
+		c.stop.Store(true)
+	}
+}
+
+func (c *collector) result() *Result {
+	res := &Result{
+		Schedules:       int(c.counted.Load()),
+		ViolationsTotal: int(c.violTotal.Load()),
+		Truncated:       c.truncated.Load(),
+		Aliased:         int(c.aliased.Load()),
+	}
+	viols := c.viols
+	if c.opts.StopAtFirst && len(viols) > 1 {
+		viols = viols[:1]
+	}
+	for _, kv := range viols {
+		res.Violations = append(res.Violations, kv.v)
+	}
+	return res
+}
+
+// workQueue is the shared LIFO frontier of schedule subtrees. pop blocks
+// until an item is available and returns false when the queue is closed
+// or globally drained (no items queued and none in flight). Workers must
+// push an item's children before calling done on the item, so the
+// drained condition never fires while reachable work remains.
+type workQueue[T any] struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []T
+	inflight int
+	closed   bool
+}
+
+func newWorkQueue[T any]() *workQueue[T] {
+	q := &workQueue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue[T]) push(items ...T) {
+	if len(items) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.items = append(q.items, items...)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *workQueue[T]) pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed || (len(q.items) == 0 && q.inflight == 0) {
+			var zero T
+			return zero, false
+		}
+		if n := len(q.items); n > 0 {
+			item := q.items[n-1]
+			q.items = q.items[:n-1]
+			q.inflight++
+			return item, true
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *workQueue[T]) done() {
+	q.mu.Lock()
+	q.inflight--
+	drained := q.inflight == 0 && len(q.items) == 0
+	q.mu.Unlock()
+	if drained {
+		q.cond.Broadcast()
+	}
+}
+
+func (q *workQueue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// explore runs process over queue items on opts.parallelism() workers
+// until the queue drains or the collector cancels.
+func explore[T any](c *collector, q *workQueue[T], parallelism int, process func(item T)) {
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if c.stopped() {
+					q.close()
+				}
+				item, ok := q.pop()
+				if !ok {
+					return
+				}
+				process(item)
+				q.done()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ExploreAll exhaustively enumerates the full schedule tree (every
+// choice at every decision point) up to opts.MaxSchedules schedules,
+// fanning disjoint decision-vector subtrees out over
+// opts.Parallelism workers.
+func ExploreAll(build Builder, opts Options) *Result {
+	c := newCollector(opts)
+	q := newWorkQueue[[]int]()
+	q.push([]int{})
+	explore(c, q, opts.parallelism(), func(prefix []int) {
+		exploreAllItem(build, c, q, prefix)
+	})
+	return c.result()
+}
+
+// exploreAllItem executes the schedule at the root of the subtree
+// identified by prefix (prefix followed by implicit zeros) and seeds the
+// queue with the subtree's immediate sub-subtrees: every single-point
+// deviation at or after len(prefix). Together with this run those
+// exactly cover the subtree, so each schedule is executed once.
+func exploreAllItem(build Builder, c *collector, q *workQueue[[]int], prefix []int) {
+	if !c.claim() {
+		return
+	}
+	script := &sched.Script{Decisions: prefix}
+	sys, verify := build(script)
+	runErr := sys.Run()
+	if script.Clamped || len(script.Fanouts) < len(prefix) {
+		// The replay aliased a different decision vector (possible only
+		// for builders that are not deterministic functions of the
+		// decision sequence): skip it rather than double-count, and do
+		// not descend into the aliased subtree.
+		c.unclaim()
+		return
+	}
+	if verr := verify(runErr); verr != nil {
+		key := make(schedKey, len(prefix))
+		for i, d := range prefix {
+			key[i] = int64(d)
+		}
+		c.violation(key, fmt.Sprintf("decisions=%v", prefix), verr)
+	}
+	c.count()
+	if c.stopped() {
+		return
+	}
+	taken := make([]int, len(script.Fanouts))
+	copy(taken, prefix)
+	// Children in descending canonical order: the queue is a LIFO, so
+	// the lexicographically smallest subtree is popped first and a
+	// single worker reproduces the sequential enumeration order exactly.
+	var children [][]int
+	for i := len(prefix); i < len(taken); i++ {
+		for choice := script.Fanouts[i] - 1; choice >= 1; choice-- {
+			children = append(children, append(taken[:i:i], choice))
+		}
+	}
+	q.push(children...)
+}
+
+// switchPoint is one directed deviation of an ExploreBudget schedule.
+type switchPoint struct {
+	d      int64
+	choice int
+}
+
+// budgetItem identifies one ExploreBudget subtree: the deviations
+// applied so far (sorted by decision index), the remaining deviation
+// budget, and the first decision index at which further deviations may
+// be placed (keeping every ≤budget-deviation schedule covered exactly
+// once).
+type budgetItem struct {
+	switches []switchPoint
+	budget   int
+	minIndex int64
+}
+
+// ExploreBudget exhaustively enumerates schedules that deviate from the
+// default continue-current-process schedule in at most budget decision
+// points, fanning disjoint deviation subtrees out over
+// opts.Parallelism workers. Deviation points are discovered lazily and
+// placed in increasing order, so every ≤budget-deviation schedule is
+// covered exactly once.
+func ExploreBudget(build Builder, budget int, opts Options) *Result {
+	c := newCollector(opts)
+	q := newWorkQueue[budgetItem]()
+	q.push(budgetItem{budget: budget})
+	explore(c, q, opts.parallelism(), func(item budgetItem) {
+		exploreBudgetItem(build, c, q, item)
+	})
+	return c.result()
+}
+
+func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], item budgetItem) {
+	if !c.claim() {
+		return
+	}
+	switches := make(map[int64]int, len(item.switches))
+	for _, sw := range item.switches {
+		switches[sw.d] = sw.choice
+	}
+	ch := &sched.BudgetedSwitch{SwitchAt: switches}
+	sys, verify := build(ch)
+	runErr := sys.Run()
+	if ch.Clamped || (len(item.switches) > 0 && item.switches[len(item.switches)-1].d >= ch.Decision) {
+		// A clamped or never-reached switch means the replay aliased a
+		// schedule with a different switch word (non-reentrant builder);
+		// skip it rather than double-count (see exploreAllItem).
+		c.unclaim()
+		return
+	}
+	if verr := verify(runErr); verr != nil {
+		key := make(schedKey, 0, 2*len(item.switches))
+		for _, sw := range item.switches {
+			key = append(key, sw.d, int64(sw.choice))
+		}
+		c.violation(key, fmt.Sprintf("switches=%v", switches), verr)
+	}
+	c.count()
+	if c.stopped() || item.budget == 0 {
+		return
+	}
+	fanouts, taken := ch.Fanouts, ch.Taken
+	// Children in descending canonical order (see exploreAllItem).
+	var children []budgetItem
+	for d := int64(len(fanouts)) - 1; d >= item.minIndex; d-- {
+		for choice := fanouts[d] - 1; choice >= 0; choice-- {
+			if choice == taken[d] {
+				continue
+			}
+			children = append(children, budgetItem{
+				switches: append(item.switches[:len(item.switches):len(item.switches)], switchPoint{d: d, choice: choice}),
+				budget:   item.budget - 1,
+				minIndex: d + 1,
+			})
+		}
+	}
+	q.push(children...)
+}
+
+// Fuzz runs nSeeds seeded pseudo-random schedules, sharding the seed
+// range over opts.Parallelism workers.
+func Fuzz(build Builder, nSeeds int, opts Options) *Result {
+	c := newCollector(opts)
+	n := int64(nSeeds)
+	if n > c.maxSched {
+		n = c.maxSched
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.parallelism(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if c.stopped() {
+					return
+				}
+				seed := next.Add(1) - 1
+				if seed >= n {
+					return
+				}
+				sys, verify := build(sched.NewRandom(seed))
+				runErr := sys.Run()
+				if verr := verify(runErr); verr != nil {
+					c.violation(schedKey{seed}, fmt.Sprintf("seed=%d", seed), verr)
+				}
+				c.count()
+			}
+		}()
+	}
+	wg.Wait()
+	// The seed range was cut by MaxSchedules; as in the tree explorers,
+	// a StopAtFirst hit reports the violation rather than truncation.
+	if int64(nSeeds) > c.maxSched && !(opts.StopAtFirst && c.violTotal.Load() > 0) {
+		c.truncated.Store(true)
+	}
+	return c.result()
+}

@@ -120,7 +120,11 @@ func TestExploreFindsPlantedBug(t *testing.T) {
 	}
 }
 
-// TestStopAtFirst stops exploration at the first violation.
+// TestStopAtFirst stops exploration at the first violation. Parallelism
+// is pinned to 1: the exact executed-schedule count under StopAtFirst is
+// a sequential-engine guarantee (parallel workers stop cooperatively but
+// may have started further runs; see
+// TestParallelStopAtFirstFindsViolation).
 func TestStopAtFirst(t *testing.T) {
 	calls := 0
 	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
@@ -132,9 +136,12 @@ func TestStopAtFirst(t *testing.T) {
 		calls++
 		return sys, func(error) error { return errors.New("always fails") }
 	}
-	res := check.Fuzz(build, 50, check.Options{StopAtFirst: true})
+	res := check.Fuzz(build, 50, check.Options{StopAtFirst: true, Parallelism: 1})
 	if res.OK() || calls != 1 {
 		t.Fatalf("calls = %d, want 1 (stop at first)", calls)
+	}
+	if res.ViolationsTotal != 1 {
+		t.Fatalf("ViolationsTotal = %d, want 1", res.ViolationsTotal)
 	}
 }
 
@@ -152,6 +159,15 @@ func TestMaxViolationsCap(t *testing.T) {
 	}
 	if len(res.Violations) != 4 {
 		t.Fatalf("violations recorded = %d, want 4", len(res.Violations))
+	}
+	if res.ViolationsTotal != 30 {
+		t.Fatalf("ViolationsTotal = %d, want 30 (cap must not hide the count)", res.ViolationsTotal)
+	}
+	// The canonical merge must keep the first seeds, not arbitrary ones.
+	for i, v := range res.Violations {
+		if want := fmt.Sprintf("seed=%d", i); v.Schedule != want {
+			t.Fatalf("violation %d schedule = %q, want %q", i, v.Schedule, want)
+		}
 	}
 }
 

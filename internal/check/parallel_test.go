@@ -1,0 +1,283 @@
+package check_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/hybridcas"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/unicons"
+)
+
+// fig3Builder builds the Fig. 3 uniprocessor consensus configuration
+// used by the determinism tests: n deciders at quantum q, verifying
+// agreement and non-⊥ decisions. At q below Theorem 1's bound (Q ≥ 8)
+// the schedule space contains genuine violations, which exercises the
+// violation-merge path, not just counting.
+func fig3Builder(n, q int) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: q, Chooser: ch, MaxSteps: 1 << 16})
+		obj := unicons.New("cons")
+		outs := make([]mem.Word, n)
+		for i := 0; i < n; i++ {
+			i := i
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *sim.Ctx) { outs[i] = obj.Decide(c, mem.Word(i+1)) })
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			for i, o := range outs {
+				if o == mem.Bottom {
+					return fmt.Errorf("process %d decided ⊥", i)
+				}
+				if o != outs[0] {
+					return fmt.Errorf("disagreement: %v", outs)
+				}
+			}
+			return nil
+		}
+		return sys, verify
+	}
+}
+
+// renderResult serializes every observable field of a Result, including
+// violation schedules and error texts, for byte-identical comparison.
+func renderResult(res *check.Result) string {
+	s := fmt.Sprintf("schedules=%d truncated=%v total=%d aliased=%d\n",
+		res.Schedules, res.Truncated, res.ViolationsTotal, res.Aliased)
+	for _, v := range res.Violations {
+		s += fmt.Sprintf("%s: %v\n", v.Schedule, v.Err)
+	}
+	return s
+}
+
+// TestParallelMatchesSequential asserts the determinism guarantee: for
+// explorations that run to completion, the parallel engine returns a
+// Result byte-identical to the sequential (Parallelism: 1) engine —
+// schedule counts, violation order, schedule strings, and error texts —
+// on small Fig. 3 configurations both above and below the quantum
+// bound.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(opts check.Options) *check.Result
+	}{
+		{"ExploreAll/q3-violations", func(o check.Options) *check.Result {
+			return check.ExploreAll(fig3Builder(2, 3), o)
+		}},
+		{"ExploreAll/q8-clean", func(o check.Options) *check.Result {
+			o.MaxSchedules = 500000
+			return check.ExploreAll(fig3Builder(2, 8), o)
+		}},
+		{"ExploreBudget/q2-violations", func(o check.Options) *check.Result {
+			return check.ExploreBudget(fig3Builder(3, 2), 2, o)
+		}},
+		{"ExploreBudget/q8-clean", func(o check.Options) *check.Result {
+			return check.ExploreBudget(fig3Builder(3, 8), 2, o)
+		}},
+		{"Fuzz/q2-violations", func(o check.Options) *check.Result {
+			return check.Fuzz(fig3Builder(3, 2), 300, o)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := renderResult(tc.run(check.Options{Parallelism: 1}))
+			for _, par := range []int{2, 4, 8} {
+				got := renderResult(tc.run(check.Options{Parallelism: par}))
+				if got != seq {
+					t.Fatalf("parallelism %d diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", par, seq, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelStopAtFirstFindsViolation: with Parallelism > 1,
+// StopAtFirst must still return a violation when one exists, stop
+// claiming work cooperatively, and report exactly one violation. The
+// exact schedule count is timing-dependent and deliberately not
+// asserted (that is the sequential engine's guarantee; see
+// TestStopAtFirst).
+func TestParallelStopAtFirstFindsViolation(t *testing.T) {
+	var builds atomic.Int64
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		builds.Add(1)
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 1, Chooser: ch})
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) { c.Local(2) })
+		return sys, func(error) error { return errors.New("always fails") }
+	}
+	res := check.Fuzz(build, 10000, check.Options{StopAtFirst: true, Parallelism: 4})
+	if res.OK() {
+		t.Fatal("violation not reported")
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("StopAtFirst returned %d violations, want 1", len(res.Violations))
+	}
+	if res.ViolationsTotal < 1 {
+		t.Fatalf("ViolationsTotal = %d, want >= 1", res.ViolationsTotal)
+	}
+	if n := builds.Load(); n >= 10000 {
+		t.Fatalf("cooperative cancellation did not stop the sweep (%d builds)", n)
+	}
+}
+
+// TestParallelLinearizabilityRaceSmoke drives the parallel explorer over
+// the Fig. 5 (hybridcas) linearizability builder. Under `go test -race`
+// this guards the builder-reentrancy contract: the history collector,
+// object, and output state are created inside the builder, so concurrent
+// workers must not race. It also exercises check.History's
+// one-run-at-a-time assumption — each run appends to its own collector.
+func TestParallelLinearizabilityRaceSmoke(t *testing.T) {
+	const (
+		kindRead = iota + 1
+		kindCAS
+	)
+	spec := func(state any, op check.HistOp) (any, uint64) {
+		v := state.(uint64)
+		switch op.Kind {
+		case kindRead:
+			return v, v
+		case kindCAS:
+			if v == op.Args[0] {
+				return op.Args[1], 1
+			}
+			return v, 0
+		default:
+			panic("bad kind")
+		}
+	}
+	key := func(state any) uint64 { return state.(uint64) }
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		const levels = 2
+		sys := sim.New(sim.Config{Processors: 1, Quantum: hybridcas.RecommendedQuantum, Chooser: ch, MaxSteps: 1 << 20})
+		obj := hybridcas.New("cas", levels, 0)
+		hist := &check.History{}
+		for i := 0; i < 3; i++ {
+			i := i
+			p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%levels})
+			p.AddInvocation(func(c *sim.Ctx) {
+				start := c.Now()
+				v := obj.Read(c)
+				hist.Add(check.HistOp{Proc: c.ID(), Start: start, End: c.Now(), Kind: kindRead, Ret: v})
+				start = c.Now()
+				ok := obj.CompareAndSwap(c, v, v+mem.Word(i)+1)
+				r := mem.Word(0)
+				if ok {
+					r = 1
+				}
+				hist.Add(check.HistOp{Proc: c.ID(), Start: start, End: c.Now(),
+					Kind: kindCAS, Args: [2]uint64{v, v + mem.Word(i) + 1}, Ret: r})
+			})
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			return hist.Check(uint64(0), spec, key)
+		}
+		return sys, verify
+	}
+	seeds := 200
+	if testing.Short() {
+		seeds = 50
+	}
+	if res := check.Fuzz(build, seeds, check.Options{Parallelism: 8}); !res.OK() {
+		t.Fatalf("non-linearizable history: %+v", res.First())
+	}
+	if res := check.ExploreBudget(build, 1, check.Options{Parallelism: 8, MaxSchedules: 5000}); !res.OK() {
+		t.Fatalf("non-linearizable history (budget): %+v", res.First())
+	}
+}
+
+// flakyFanoutBuilder is deliberately NOT a deterministic function of the
+// decision sequence: the first build has three processes, later builds
+// two, so replays of vectors generated from the first run see smaller
+// fan-outs. Such replays clamp (alias an in-range vector) and must be
+// skipped, not counted as distinct schedules.
+func flakyFanoutBuilder() check.Builder {
+	var builds atomic.Int64
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		n := 2
+		if builds.Add(1) == 1 {
+			n = 3
+		}
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 1, Chooser: ch})
+		for i := 0; i < n; i++ {
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+				AddInvocation(func(c *sim.Ctx) { c.Local(1) })
+		}
+		return sys, func(runErr error) error { return runErr }
+	}
+}
+
+// TestExploreAllSkipsClampedAliases: the 3-process first run yields the
+// decision tree {[], [1], [2], [0 1]}, but the 2-process replays only
+// have fan-out 2 at the single decision point: [2] clamps onto [1], and
+// [0 1] never consumes its second decision. Both alias already-counted
+// schedules; only the root and [1] are genuine.
+func TestExploreAllSkipsClampedAliases(t *testing.T) {
+	res := check.ExploreAll(flakyFanoutBuilder(), check.Options{Parallelism: 1})
+	if res.Schedules != 2 {
+		t.Fatalf("schedules = %d, want 2 (aliased replays double-counted)", res.Schedules)
+	}
+	if res.Aliased != 2 {
+		t.Fatalf("aliased = %d, want 2", res.Aliased)
+	}
+	if !res.OK() {
+		t.Fatalf("unexpected violation: %+v", res.First())
+	}
+}
+
+// TestExploreBudgetSkipsClampedAliases is the BudgetedSwitch analogue:
+// the first (3-process) run seeds deviations {d0→1, d0→2, d1→1}; on the
+// 2-process replays d0→2 clamps and d1→1 is never reached, so both are
+// aliases of counted schedules.
+func TestExploreBudgetSkipsClampedAliases(t *testing.T) {
+	res := check.ExploreBudget(flakyFanoutBuilder(), 1, check.Options{Parallelism: 1})
+	if res.Schedules != 2 {
+		t.Fatalf("schedules = %d, want 2 (aliased replays double-counted)", res.Schedules)
+	}
+	if res.Aliased != 2 {
+		t.Fatalf("aliased = %d, want 2", res.Aliased)
+	}
+}
+
+// TestProgressHook: the Progress hook receives monotonically increasing
+// schedule counts and a live violation counter.
+func TestProgressHook(t *testing.T) {
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 1, Chooser: ch})
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) { c.Local(1) })
+		return sys, func(error) error { return errors.New("fails") }
+	}
+	var calls []check.ProgressInfo
+	res := check.Fuzz(build, 40, check.Options{
+		MaxViolations: 1000,
+		ProgressEvery: 10,
+		Parallelism:   1,
+		Progress:      func(info check.ProgressInfo) { calls = append(calls, info) },
+	})
+	if res.Schedules != 40 {
+		t.Fatalf("schedules = %d, want 40", res.Schedules)
+	}
+	if len(calls) != 4 {
+		t.Fatalf("progress calls = %d, want 4", len(calls))
+	}
+	var last int64
+	for _, info := range calls {
+		if info.Schedules <= last {
+			t.Fatalf("progress schedules not increasing: %+v", calls)
+		}
+		last = info.Schedules
+	}
+	if final := calls[len(calls)-1]; final.Schedules != 40 || final.Violations != 40 {
+		t.Fatalf("final progress = %+v, want 40 schedules / 40 violations", final)
+	}
+}

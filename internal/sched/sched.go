@@ -167,13 +167,26 @@ func (s *Stagger) Pick(d sim.Decision) int {
 // Script replays a fixed decision sequence, then falls back to picking
 // candidate 0. It records the fan-out of every decision it makes, which
 // the exhaustive explorer in internal/check uses to enumerate schedules.
+//
+// A scripted decision that is out of range for the decision point it
+// reaches (which can only happen when the system under replay is not a
+// deterministic function of the decision sequence — e.g. a non-reentrant
+// builder) is clamped to the last candidate and flagged via Clamped and
+// ClampCount. A clamped replay aliases a schedule with an in-range
+// decision vector, so explorers skip such runs instead of counting them
+// as distinct schedules.
 type Script struct {
 	// Decisions is the prefix of decisions to replay.
 	Decisions []int
 	// Fanouts records len(Candidates) at each decision point encountered
 	// (including beyond the scripted prefix).
 	Fanouts []int
-	pos     int
+	// Clamped reports whether any scripted decision was out of range and
+	// had to be clamped to the last candidate.
+	Clamped bool
+	// ClampCount counts clamped decisions.
+	ClampCount int
+	pos        int
 }
 
 // Pick implements sim.Chooser.
@@ -184,6 +197,8 @@ func (s *Script) Pick(d sim.Decision) int {
 		i = s.Decisions[s.pos]
 		if i >= len(d.Candidates) {
 			i = len(d.Candidates) - 1
+			s.Clamped = true
+			s.ClampCount++
 		}
 	}
 	s.pos++
@@ -207,6 +222,12 @@ type BudgetedSwitch struct {
 	Fanouts []int
 	// Taken records the choice made at each decision point.
 	Taken []int
+	// Clamped reports whether any directed switch was out of range for
+	// the decision point it reached and was clamped to the last
+	// candidate (see Script.Clamped: this aliases another schedule).
+	Clamped bool
+	// ClampCount counts clamped decisions.
+	ClampCount int
 }
 
 // Pick implements sim.Chooser.
@@ -219,6 +240,8 @@ func (b *BudgetedSwitch) Pick(d sim.Decision) int {
 	case ok:
 		if choice >= len(d.Candidates) {
 			choice = len(d.Candidates) - 1
+			b.Clamped = true
+			b.ClampCount++
 		}
 	default:
 		choice = 0

@@ -175,3 +175,55 @@ func TestBudgetedSwitchRecordsTaken(t *testing.T) {
 		t.Fatalf("scripted switch not taken: %v", b.Taken)
 	}
 }
+
+// TestScriptClampFlagged: a scripted decision beyond the fan-out is
+// clamped to the last candidate and flagged, so callers can tell the
+// replay aliased a different (in-range) decision vector.
+func TestScriptClampFlagged(t *testing.T) {
+	s := &sched.Script{Decisions: []int{7}}
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 1, Chooser: s})
+	for i := 0; i < 2; i++ {
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) { c.Local(1) })
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !s.Clamped || s.ClampCount != 1 {
+		t.Fatalf("Clamped=%v ClampCount=%d, want true/1", s.Clamped, s.ClampCount)
+	}
+}
+
+// TestScriptInRangeNotClamped: valid decision vectors must not trip the
+// alias flag.
+func TestScriptInRangeNotClamped(t *testing.T) {
+	s := &sched.Script{Decisions: []int{1}}
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 1, Chooser: s})
+	for i := 0; i < 2; i++ {
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) { c.Local(1) })
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Clamped || s.ClampCount != 0 {
+		t.Fatalf("Clamped=%v ClampCount=%d, want false/0", s.Clamped, s.ClampCount)
+	}
+}
+
+// TestBudgetedSwitchClampFlagged is the BudgetedSwitch analogue of
+// TestScriptClampFlagged.
+func TestBudgetedSwitchClampFlagged(t *testing.T) {
+	b := &sched.BudgetedSwitch{SwitchAt: map[int64]int{0: 9}}
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 2, Chooser: b})
+	for i := 0; i < 2; i++ {
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) { c.Local(3) })
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !b.Clamped || b.ClampCount != 1 {
+		t.Fatalf("Clamped=%v ClampCount=%d, want true/1", b.Clamped, b.ClampCount)
+	}
+}

@@ -257,13 +257,20 @@ type (
 	Builder = check.Builder
 	// Verify checks a completed run's outcome.
 	Verify = check.Verify
-	// ExploreOptions bounds an exploration.
+	// ExploreOptions bounds an exploration; Parallelism selects the
+	// worker count (0 = all CPUs, 1 = strict sequential) and Progress
+	// receives periodic throughput snapshots.
 	ExploreOptions = check.Options
 	// ExploreResult summarizes an exploration.
 	ExploreResult = check.Result
+	// ExploreProgress is one snapshot delivered to the Progress hook.
+	ExploreProgress = check.ProgressInfo
 )
 
 // ExploreAll exhaustively checks every schedule of the built system.
+// All explorers run on a worker pool; the Builder must be reentrant
+// (create all state inside the call) — see package check for the
+// contract and the determinism guarantee.
 func ExploreAll(build Builder, opts ExploreOptions) *ExploreResult {
 	return check.ExploreAll(build, opts)
 }
