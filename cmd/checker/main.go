@@ -7,9 +7,12 @@
 //	checker -alg fig3 -n 2 -q 8 -mode all
 //	checker -alg fig3 -n 3 -q 2 -mode budget -budget 3   # finds the Q<8 violation
 //	checker -alg fig7 -p 2 -q 2048 -mode fuzz -seeds 500
+//	checker -alg fig7 -p 2 -mode all -timeout 30s        # partial results at the deadline
+//	checker -alg fig3 -n 3 -waitfree-bound 8             # enforce the Theorem 1 step bound
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +40,8 @@ func main() {
 		maxSch   = flag.Int("max", 200000, "schedule cap")
 		parallel = flag.Int("parallel", 0, "exploration workers (0 = all CPUs, 1 = sequential)")
 		progress = flag.Bool("progress", false, "report live schedules/sec and violation count on stderr")
+		timeout  = flag.Duration("timeout", 0, "wall-clock bound; on expiry the exploration stops at a schedule boundary with partial results (0 = none)")
+		wfBound  = flag.Int64("waitfree-bound", 0, "fail any run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
 	)
 	flag.Parse()
 
@@ -51,7 +56,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel}
+	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel, WaitFreeBound: *wfBound}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
 	if *progress {
 		opts.Progress = func(info check.ProgressInfo) {
 			fmt.Fprintf(os.Stderr, "checker: %d schedules, %d violations, %.0f schedules/sec\n",
@@ -77,6 +87,12 @@ func main() {
 	}
 
 	fmt.Printf("explored %d schedules (truncated=%v)\n", res.Schedules, res.Truncated)
+	if res.Interrupted {
+		fmt.Printf("interrupted by -timeout %v: results are partial\n", *timeout)
+	}
+	if res.StepLimited > 0 {
+		fmt.Printf("%d runs hit the step limit (counted separately, not violations)\n", res.StepLimited)
+	}
 	if res.Aliased > 0 {
 		fmt.Printf("skipped %d aliased replays (non-reentrant builder?)\n", res.Aliased)
 	}

@@ -4,14 +4,25 @@
 // universal counter/queue/stack, Fig. 7 consensus), verifying every
 // run's invariants. Runs are dispatched to a pool of workers; each run's
 // workload is derived deterministically from the base seed and its run
-// index, so a failure reproduces with the same -seed at any -parallel
-// setting. Exit status is non-zero on the first violation.
+// index, so a failure reproduces with the same -seed (and -crash-seed)
+// at any -parallel setting.
+//
+// With -crashes > 0 every run additionally injects up to that many
+// seeded random crash-stop faults, and the invariants are checked in
+// their crash-tolerant form: survivors must agree and the queue may be
+// short only by what crashed mid-operation.
+//
+// Exit status is non-zero on the first violation. The last line of
+// stdout is a machine-readable JSON summary:
+//
+//	{"runs":N,"violations":V,"crashes":C,"failed":false}
 //
 // Usage:
 //
 //	soak -seconds 30
 //	soak -runs 500        # fixed run count instead of a time budget
 //	soak -runs 500 -parallel 1   # sequential
+//	soak -runs 500 -crashes 2    # crash up to 2 processes per run
 package main
 
 import (
@@ -29,10 +40,12 @@ import (
 
 func main() {
 	var (
-		seconds  = flag.Int("seconds", 10, "time budget (ignored when -runs > 0)")
-		runs     = flag.Int("runs", 0, "fixed number of runs (0 = use -seconds)")
-		seed     = flag.Int64("seed", time.Now().UnixNano(), "base seed")
-		parallel = flag.Int("parallel", 0, "concurrent soak workers (0 = all CPUs)")
+		seconds   = flag.Int("seconds", 10, "time budget (ignored when -runs > 0)")
+		runs      = flag.Int("runs", 0, "fixed number of runs (0 = use -seconds)")
+		seed      = flag.Int64("seed", time.Now().UnixNano(), "base seed")
+		parallel  = flag.Int("parallel", 0, "concurrent soak workers (0 = all CPUs)")
+		crashes   = flag.Int("crashes", 0, "max crash-stop faults injected per run (capped at nprocs-1)")
+		crashSeed = flag.Int64("crash-seed", 0, "base seed for crash injection (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -40,16 +53,21 @@ func main() {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	if *crashSeed == 0 {
+		*crashSeed = *seed ^ 0x5deece66d
+	}
 	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
-	fmt.Printf("soak: base seed %d, %d workers\n", *seed, workers)
+	fmt.Printf("soak: base seed %d, crash seed %d, max crashes/run %d, %d workers\n",
+		*seed, *crashSeed, *crashes, workers)
 
 	var (
-		next   atomic.Int64
-		done   atomic.Int64
-		failed atomic.Bool
-		mu     sync.Mutex
-		errRun int64
-		errOut error
+		next     atomic.Int64
+		done     atomic.Int64
+		injected atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		errRun   int64
+		errOut   error
 	)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -64,7 +82,9 @@ func main() {
 				if *runs == 0 && time.Now().After(deadline) {
 					return
 				}
-				if err := oneRun(*seed, idx); err != nil {
+				nCrashes, err := oneRun(*seed, *crashSeed, idx, *crashes)
+				injected.Add(int64(nCrashes))
+				if err != nil {
 					mu.Lock()
 					if errOut == nil || idx < errRun {
 						errRun, errOut = idx, err
@@ -79,28 +99,50 @@ func main() {
 	}
 	wg.Wait()
 	if errOut != nil {
-		fmt.Fprintf(os.Stderr, "soak: FAILED at run %d (base seed %d) after %d clean runs: %v\n",
-			errRun, *seed, done.Load(), errOut)
+		fmt.Fprintf(os.Stderr, "soak: FAILED at run %d (base seed %d, crash seed %d) after %d clean runs: %v\n",
+			errRun, *seed, *crashSeed, done.Load(), errOut)
+		summary(done.Load(), 1, injected.Load(), true)
 		os.Exit(1)
 	}
-	fmt.Printf("soak: %d runs clean\n", done.Load())
+	fmt.Printf("soak: %d runs clean, %d crashes injected\n", done.Load(), injected.Load())
+	summary(done.Load(), 0, injected.Load(), false)
 }
 
-// oneRun builds run idx's random mixed workload from the base seed and
-// verifies it. All state is local to the call, so runs are safe to
-// execute concurrently.
-func oneRun(base, idx int64) error {
+// summary prints the machine-readable last-line summary.
+func summary(runs, violations, crashes int64, failed bool) {
+	fmt.Printf("{\"runs\":%d,\"violations\":%d,\"crashes\":%d,\"failed\":%v}\n",
+		runs, violations, crashes, failed)
+}
+
+// oneRun builds run idx's random mixed workload from the base seed,
+// optionally injects up to maxCrashes crash-stop faults, and verifies
+// the crash-tolerant invariants. It returns the number of crashes
+// injected. All state is local to the call, so runs are safe to execute
+// concurrently.
+func oneRun(base, crashBase, idx int64, maxCrashes int) (int, error) {
 	rng := rand.New(rand.NewSource(int64(uint64(base) + uint64(idx)*0x9e3779b97f4a7c15)))
 	n := 2 + rng.Intn(6)
 	levels := 1 + rng.Intn(3)
 	quantum := repro.RecommendedQuantum + rng.Intn(32)
 	seed := rng.Int63()
 
+	k := maxCrashes
+	if k > n-1 {
+		k = n - 1 // wait-freedom is only meaningful with a survivor
+	}
+	var chooser repro.Scheduler = repro.NewRandomScheduler(seed)
+	var crasher *repro.RandomCrashScheduler
+	if k > 0 {
+		crasher = repro.NewRandomCrashScheduler(chooser,
+			int64(uint64(crashBase)+uint64(idx)*0x9e3779b97f4a7c15), k, 0)
+		chooser = crasher
+	}
+
 	aud := repro.NewAuditor(quantum)
 	sys := repro.NewSystem(repro.Config{
 		Processors: 1,
 		Quantum:    quantum,
-		Chooser:    repro.NewRandomScheduler(seed),
+		Chooser:    chooser,
 		MaxSteps:   1 << 22,
 		Observer:   aud,
 	})
@@ -109,18 +151,23 @@ func oneRun(base, idx int64) error {
 	ctr := repro.NewCounter("ctr", 0)
 	q := repro.NewQueue("q")
 
+	// consOuts uses 0 as the "never finished" sentinel (proposals are
+	// 1..n); ops are counted only when their invocation ran to the end,
+	// so a crashed process's in-flight op is uncounted even if applied.
 	consOuts := make([]repro.Word, n)
+	procs := make([]*repro.Process, n)
 	incs := 0
 	enqs, deqs := 0, 0
 
 	for i := 0; i < n; i++ {
 		i := i
-		p := sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1 + i%levels})
+		procs[i] = sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1 + i%levels})
+		p := procs[i]
 		p.AddInvocation(func(c *repro.Ctx) {
 			consOuts[i] = cons.Decide(c, repro.Word(i+1))
 		})
 		ops := 1 + rng.Intn(3)
-		for k := 0; k < ops; k++ {
+		for op := 0; op < ops; op++ {
 			switch rng.Intn(4) {
 			case 0:
 				p.AddInvocation(func(c *repro.Ctx) {
@@ -151,20 +198,46 @@ func oneRun(base, idx int64) error {
 			}
 		}
 	}
-	if err := sys.Run(); err != nil {
-		return fmt.Errorf("seed %d: run: %w", seed, err)
+	nCrashes := func() int {
+		if crasher == nil {
+			return 0
+		}
+		return crasher.Injected
 	}
-	for i, v := range consOuts {
-		if v != consOuts[0] || v == repro.Bottom {
-			return fmt.Errorf("seed %d: consensus disagreement at %d: %v", seed, i, consOuts)
+	if err := sys.Run(); err != nil {
+		return nCrashes(), fmt.Errorf("seed %d: run: %w", seed, err)
+	}
+	crashed := 0
+	decided := repro.Word(0)
+	for i, p := range procs {
+		if p.Crashed() {
+			crashed++
+			continue
+		}
+		if consOuts[i] == 0 || consOuts[i] == repro.Bottom {
+			return nCrashes(), fmt.Errorf("seed %d: survivor %d never decided: %v", seed, i, consOuts)
+		}
+		if decided == 0 {
+			decided = consOuts[i]
+		} else if consOuts[i] != decided {
+			return nCrashes(), fmt.Errorf("seed %d: consensus disagreement at %d: %v", seed, i, consOuts)
 		}
 	}
-	if deqs+q.PeekLen() != enqs {
-		return fmt.Errorf("seed %d: queue lost items: %d deq + %d left != %d enq",
-			seed, deqs, q.PeekLen(), enqs)
+	for i, p := range procs {
+		if p.Crashed() && consOuts[i] != 0 && consOuts[i] != decided {
+			return nCrashes(), fmt.Errorf("seed %d: crashed process %d recorded %d != decided %d",
+				seed, i, consOuts[i], decided)
+		}
+	}
+	// Each crashed process has at most one in-flight queue op that may
+	// have been applied without being counted, so the imbalance is
+	// bounded by the crash count (and is exactly 0 without crashes).
+	if d := deqs + q.PeekLen() - enqs; d < -crashed || d > crashed {
+		return nCrashes(), fmt.Errorf("seed %d: queue imbalance %d exceeds %d crashes: %d deq + %d left vs %d enq",
+			seed, d, crashed, deqs, q.PeekLen(), enqs)
 	}
 	if err := aud.Err(); err != nil {
-		return fmt.Errorf("seed %d: %w", seed, err)
+		return nCrashes(), fmt.Errorf("seed %d: %w", seed, err)
 	}
-	return nil
+	return nCrashes(), nil
 }

@@ -51,6 +51,7 @@
 package check
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -106,6 +107,24 @@ type Options struct {
 	// ProgressEvery is the schedule interval between Progress calls
 	// (0 = 1000).
 	ProgressEvery int
+	// WaitFreeBound, if > 0, enforces wait-freedom as a per-run
+	// property: a run violates it when any live (non-crashed) process
+	// executes more than WaitFreeBound of its own statements within a
+	// single invocation — regardless of what other processes do,
+	// including crashing or stalling. The bound counts a process's OWN
+	// statements (Process.WorstInvStmts), so an adversary starving a
+	// process does not trip it; only unbounded retrying or spinning
+	// does. Derive the bound from the paper's results: constant
+	// (unicons.Stmts) for Fig. 3, O(V) for Fig. 5, polynomial in the
+	// level count L for Fig. 7/Theorem 4.
+	WaitFreeBound int64
+	// Context, if non-nil, bounds the exploration in wall-clock time:
+	// when it is cancelled or its deadline expires, workers stop
+	// claiming schedules and the explorer returns the results collected
+	// so far with Result.Interrupted set. Cancellation is honored at
+	// schedule boundaries — an in-flight run completes first (a single
+	// run is bounded by its system's MaxSteps).
+	Context context.Context
 }
 
 func (o Options) maxSchedules() int {
@@ -164,6 +183,19 @@ type Result struct {
 	// builders that are deterministic functions of the decision
 	// sequence.
 	Aliased int
+	// StepLimited counts runs aborted by sim.ErrStepLimit
+	// (Config.MaxSteps). A step-limit abort is an incomplete run, not by
+	// itself a property violation, so it is tallied here instead of
+	// being conflated with Violations: a verifier that merely echoes the
+	// run error (errors.Is(verr, sim.ErrStepLimit)) records no
+	// violation for such a run, while a verifier that maps the abort to
+	// a distinct property error — or the WaitFreeBound check firing on
+	// the aborted run — still does.
+	StepLimited int
+	// Interrupted reports whether Options.Context was cancelled before
+	// the exploration completed; Schedules then covers only the runs
+	// finished before cancellation.
+	Interrupted bool
 }
 
 // OK reports whether no violation was found.

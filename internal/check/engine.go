@@ -1,13 +1,17 @@
 package check
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // schedKey canonically orders schedules: lexicographic over the
@@ -41,15 +45,18 @@ type keyedViolation struct {
 // schedule order, drives cooperative cancellation for StopAtFirst, and
 // emits Progress snapshots.
 type collector struct {
-	opts      Options
-	maxSched  int64
-	maxViol   int
-	claimed   atomic.Int64 // schedule slots claimed (bounded by maxSched)
-	counted   atomic.Int64 // schedules executed and counted
-	violTotal atomic.Int64
-	aliased   atomic.Int64
-	truncated atomic.Bool
-	stop      atomic.Bool
+	opts        Options
+	ctx         context.Context
+	maxSched    int64
+	maxViol     int
+	claimed     atomic.Int64 // schedule slots claimed (bounded by maxSched)
+	counted     atomic.Int64 // schedules executed and counted
+	violTotal   atomic.Int64
+	aliased     atomic.Int64
+	stepLimited atomic.Int64
+	truncated   atomic.Bool
+	interrupted atomic.Bool
+	stop        atomic.Bool
 
 	mu    sync.Mutex
 	viols []keyedViolation // sorted by key, capped at maxViol
@@ -59,8 +66,13 @@ type collector struct {
 }
 
 func newCollector(opts Options) *collector {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &collector{
 		opts:      opts,
+		ctx:       ctx,
 		maxSched:  int64(opts.maxSchedules()),
 		maxViol:   opts.maxViolations(),
 		start:     time.Now(),
@@ -68,12 +80,24 @@ func newCollector(opts Options) *collector {
 	}
 }
 
-func (c *collector) stopped() bool { return c.stop.Load() }
+// stopped reports whether the exploration should stop claiming work,
+// polling Options.Context for cancellation.
+func (c *collector) stopped() bool {
+	if c.stop.Load() {
+		return true
+	}
+	if c.ctx.Err() != nil {
+		c.interrupted.Store(true)
+		c.stop.Store(true)
+		return true
+	}
+	return false
+}
 
 // claim reserves one schedule slot; on failure the exploration is
 // truncated and cancelled.
 func (c *collector) claim() bool {
-	if c.stop.Load() {
+	if c.stopped() {
 		return false
 	}
 	if c.claimed.Add(1) > c.maxSched {
@@ -127,12 +151,66 @@ func (c *collector) violation(key schedKey, schedule string, err error) {
 	}
 }
 
+// outcome runs the builder's verifier and the collector-level property
+// checks over one completed run, merging everything into a single
+// violation error (nil for a clean run). Step-limit aborts are tallied
+// in Result.StepLimited and suppressed as violations when the verifier
+// merely echoes them; a verifier error distinct from the abort — or a
+// WaitFreeBound hit on the aborted run — still counts.
+func (c *collector) outcome(sys *sim.System, verify Verify, runErr error) error {
+	limited := errors.Is(runErr, sim.ErrStepLimit)
+	if limited {
+		c.stepLimited.Add(1)
+	}
+	verr := verify(runErr)
+	if verr != nil && limited && errors.Is(verr, sim.ErrStepLimit) {
+		verr = nil
+	}
+	return errors.Join(verr, c.waitFree(sys))
+}
+
+// waitFree enforces Options.WaitFreeBound on one completed run: every
+// live (non-crashed) process must have executed at most the bound of
+// its own statements within any single invocation, finished or not.
+func (c *collector) waitFree(sys *sim.System) error {
+	b := c.opts.WaitFreeBound
+	if b <= 0 {
+		return nil
+	}
+	for _, p := range sys.Processes() {
+		if p.Crashed() {
+			continue
+		}
+		if n := p.WorstInvStmts(); n > b {
+			return fmt.Errorf("check: wait-freedom violated: %s executed %d of its own statements in one invocation (bound %d)",
+				p.Name(), n, b)
+		}
+	}
+	return nil
+}
+
+// protectedRun invokes f, converting a panic anywhere in the builder,
+// the run, or the verifier into a violation error so one bad schedule
+// cannot kill the whole exploration. schedule names the run for the
+// error text.
+func protectedRun(schedule string, f func() error) (verr error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			verr = fmt.Errorf("check: panic on schedule %s: %v\n%s", schedule, r, debug.Stack())
+		}
+	}()
+	return f(), false
+}
+
 func (c *collector) result() *Result {
 	res := &Result{
 		Schedules:       int(c.counted.Load()),
 		ViolationsTotal: int(c.violTotal.Load()),
 		Truncated:       c.truncated.Load(),
 		Aliased:         int(c.aliased.Load()),
+		StepLimited:     int(c.stepLimited.Load()),
+		Interrupted:     c.interrupted.Load(),
 	}
 	viols := c.viols
 	if c.opts.StopAtFirst && len(viols) > 1 {
@@ -256,9 +334,16 @@ func exploreAllItem(build Builder, c *collector, q *workQueue[[]int], prefix []i
 		return
 	}
 	script := &sched.Script{Decisions: prefix}
-	sys, verify := build(script)
-	runErr := sys.Run()
-	if script.Clamped || len(script.Fanouts) < len(prefix) {
+	schedule := fmt.Sprintf("decisions=%v", prefix)
+	verr, panicked := protectedRun(schedule, func() error {
+		sys, verify := build(script)
+		runErr := sys.Run()
+		if script.Clamped || len(script.Fanouts) < len(prefix) {
+			return nil // aliased; detected below from the script state
+		}
+		return c.outcome(sys, verify, runErr)
+	})
+	if !panicked && (script.Clamped || len(script.Fanouts) < len(prefix)) {
 		// The replay aliased a different decision vector (possible only
 		// for builders that are not deterministic functions of the
 		// decision sequence): skip it rather than double-count, and do
@@ -266,15 +351,18 @@ func exploreAllItem(build Builder, c *collector, q *workQueue[[]int], prefix []i
 		c.unclaim()
 		return
 	}
-	if verr := verify(runErr); verr != nil {
+	if verr != nil {
 		key := make(schedKey, len(prefix))
 		for i, d := range prefix {
 			key[i] = int64(d)
 		}
-		c.violation(key, fmt.Sprintf("decisions=%v", prefix), verr)
+		c.violation(key, schedule, verr)
 	}
 	c.count()
-	if c.stopped() {
+	// After a panic the script's fan-out record is unreliable, so the
+	// subtree below this schedule is not descended into; the violation
+	// records the abandoned prefix.
+	if c.stopped() || panicked {
 		return
 	}
 	taken := make([]int, len(script.Fanouts))
@@ -333,24 +421,35 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], it
 		switches[sw.d] = sw.choice
 	}
 	ch := &sched.BudgetedSwitch{SwitchAt: switches}
-	sys, verify := build(ch)
-	runErr := sys.Run()
-	if ch.Clamped || (len(item.switches) > 0 && item.switches[len(item.switches)-1].d >= ch.Decision) {
+	schedule := fmt.Sprintf("switches=%v", switches)
+	aliased := func() bool {
+		return ch.Clamped || (len(item.switches) > 0 && item.switches[len(item.switches)-1].d >= ch.Decision)
+	}
+	verr, panicked := protectedRun(schedule, func() error {
+		sys, verify := build(ch)
+		runErr := sys.Run()
+		if aliased() {
+			return nil
+		}
+		return c.outcome(sys, verify, runErr)
+	})
+	if !panicked && aliased() {
 		// A clamped or never-reached switch means the replay aliased a
 		// schedule with a different switch word (non-reentrant builder);
 		// skip it rather than double-count (see exploreAllItem).
 		c.unclaim()
 		return
 	}
-	if verr := verify(runErr); verr != nil {
+	if verr != nil {
 		key := make(schedKey, 0, 2*len(item.switches))
 		for _, sw := range item.switches {
 			key = append(key, sw.d, int64(sw.choice))
 		}
-		c.violation(key, fmt.Sprintf("switches=%v", switches), verr)
+		c.violation(key, schedule, verr)
 	}
 	c.count()
-	if c.stopped() || item.budget == 0 {
+	// See exploreAllItem: no descent below a panicked schedule.
+	if c.stopped() || panicked || item.budget == 0 {
 		return
 	}
 	fanouts, taken := ch.Fanouts, ch.Taken
@@ -393,10 +492,14 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 				if seed >= n {
 					return
 				}
-				sys, verify := build(sched.NewRandom(seed))
-				runErr := sys.Run()
-				if verr := verify(runErr); verr != nil {
-					c.violation(schedKey{seed}, fmt.Sprintf("seed=%d", seed), verr)
+				schedule := fmt.Sprintf("seed=%d", seed)
+				verr, _ := protectedRun(schedule, func() error {
+					sys, verify := build(sched.NewRandom(seed))
+					runErr := sys.Run()
+					return c.outcome(sys, verify, runErr)
+				})
+				if verr != nil {
+					c.violation(schedKey{seed}, schedule, verr)
 				}
 				c.count()
 			}

@@ -1,0 +1,132 @@
+package hybridcas_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/hybridcas"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// crashCounterBuilder is casCounterBuilder under a crash-stop adversary
+// crashing up to k of the n processes. A crashed process has at most one
+// in-flight increment whose winning cell may still be incorporated by
+// survivors, so the final value is bracketed by the completed-increment
+// count and that count plus the number of crashes; survivors must all
+// complete within the O(V) wait-free bound.
+func crashCounterBuilder(n, levels, k int, crashSeed *atomic.Int64) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		crashing := sched.NewRandomCrash(ch, crashSeed.Add(1), k, 0.05)
+		aud := sim.NewAuditor(hybridcas.RecommendedQuantum)
+		sys := sim.New(sim.Config{
+			Processors: 1, Quantum: hybridcas.RecommendedQuantum,
+			Chooser: crashing, Observer: aud, MaxSteps: 1 << 20,
+		})
+		obj := hybridcas.New("cas", levels, 0)
+		var succ atomic.Int64
+		procs := make([]*sim.Process, n)
+		for i := 0; i < n; i++ {
+			procs[i] = sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%levels, Name: fmt.Sprintf("p%d", i)})
+			procs[i].AddInvocation(func(c *sim.Ctx) {
+				for {
+					v := obj.Read(c)
+					if obj.CompareAndSwap(c, v, v+1) {
+						succ.Add(1)
+						return
+					}
+				}
+			})
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			if err := aud.Err(); err != nil {
+				return err
+			}
+			crashed := 0
+			for i, p := range procs {
+				if p.Crashed() {
+					crashed++
+					continue
+				}
+				if p.CompletedInvocations() != 1 {
+					return fmt.Errorf("survivor %d did not complete its increment", i)
+				}
+			}
+			done, got := succ.Load(), int64(obj.Peek())
+			if got < done || got > done+int64(crashed) {
+				return fmt.Errorf("final = %d, want in [%d, %d] (%d completed, %d crashed)",
+					got, done, done+int64(crashed), done, crashed)
+			}
+			return nil
+		}
+		return sys, verify
+	}
+}
+
+// TestCASCrashFuzz: seeded random schedules plus seeded random
+// crash-stop faults with every budget k in 1..n-1 find no violation of
+// the counter semantics or the O(V) wait-free bound.
+func TestCASCrashFuzz(t *testing.T) {
+	for _, cfg := range []struct{ n, levels int }{
+		{3, 1}, {3, 3}, {4, 2},
+	} {
+		for k := 1; k < cfg.n; k++ {
+			var crashSeed atomic.Int64
+			res := check.Fuzz(crashCounterBuilder(cfg.n, cfg.levels, k, &crashSeed), 100, check.Options{
+				WaitFreeBound: int64(500 * (cfg.levels + cfg.n)),
+			})
+			if !res.OK() {
+				t.Fatalf("n=%d V=%d k=%d: %+v", cfg.n, cfg.levels, k, res.First())
+			}
+			if res.StepLimited != 0 {
+				t.Fatalf("n=%d V=%d k=%d: %d runs hit the step limit", cfg.n, cfg.levels, k, res.StepLimited)
+			}
+		}
+	}
+}
+
+// TestCASCrashedHolderDoesNotBlock: crash a process mid-operation at
+// every early point under a deterministic schedule; the survivor's
+// retry loop must still terminate (wait-freedom is crash-tolerant,
+// unlike a lock).
+func TestCASCrashedHolderDoesNotBlock(t *testing.T) {
+	for step := int64(0); step <= 24; step++ {
+		aud := sim.NewAuditor(hybridcas.RecommendedQuantum)
+		sys := sim.New(sim.Config{
+			Processors: 1, Quantum: hybridcas.RecommendedQuantum,
+			Chooser:  sched.NewCrash(sched.NewRotate(), sched.CrashPoint{Proc: 0, Step: step}),
+			Observer: aud, MaxSteps: 1 << 18,
+		})
+		obj := hybridcas.New("cas", 2, 0)
+		var survived bool
+		for i := 0; i < 2; i++ {
+			i := i
+			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i}).
+				AddInvocation(func(c *sim.Ctx) {
+					for {
+						v := obj.Read(c)
+						if obj.CompareAndSwap(c, v, v+1) {
+							if i == 1 {
+								survived = true
+							}
+							return
+						}
+					}
+				})
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatalf("step=%d: %v", step, err)
+		}
+		if err := aud.Err(); err != nil {
+			t.Fatalf("step=%d: %v", step, err)
+		}
+		if !survived {
+			t.Fatalf("step=%d: survivor never completed", step)
+		}
+	}
+}

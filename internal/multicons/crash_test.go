@@ -1,0 +1,156 @@
+package multicons_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/multicons"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// crashFig7Builder is fig7Builder under a crash-stop adversary crashing
+// up to k of the P*M processes. A crashed process forfeits at most one
+// won-but-unannounced election per level walk, which the L-level tower
+// absorbs: survivors must still agree on a valid proposal within the
+// Theorem 4 polynomial bound. outs uses 0 as the "never finished"
+// sentinel (proposals are 1..n).
+func crashFig7Builder(cfg multicons.Config, quantum, k int, crashSeed *atomic.Int64) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		crashing := sched.NewRandomCrash(ch, crashSeed.Add(1), k, 0.02)
+		aud := sim.NewAuditor(quantum)
+		sys := sim.New(sim.Config{
+			Processors: cfg.P, Quantum: quantum,
+			Chooser: crashing, Observer: aud, MaxSteps: 1 << 22,
+		})
+		alg := multicons.New(cfg)
+		n := cfg.P * cfg.M
+		outs := make([]mem.Word, n)
+		procs := make([]*sim.Process, n)
+		id := 0
+		for i := 0; i < cfg.P; i++ {
+			for j := 0; j < cfg.M; j++ {
+				me := id
+				procs[me] = sys.AddProcess(sim.ProcSpec{
+					Processor: i,
+					Priority:  1 + j%cfg.V,
+					Name:      fmt.Sprintf("p%d.%d", i, j),
+				})
+				procs[me].AddInvocation(func(c *sim.Ctx) {
+					outs[me] = alg.Decide(c, mem.Word(me+1))
+				})
+				id++
+			}
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			if err := aud.Err(); err != nil {
+				return err
+			}
+			decided := mem.Word(0)
+			for i, p := range procs {
+				if p.Crashed() {
+					continue
+				}
+				if p.CompletedInvocations() != 1 || outs[i] == 0 {
+					return fmt.Errorf("survivor %d did not decide (crashes must not block survivors)", i)
+				}
+				if outs[i] < 1 || outs[i] > mem.Word(n) {
+					return fmt.Errorf("validity violated: survivor %d decided %d", i, outs[i])
+				}
+				if decided == 0 {
+					decided = outs[i]
+				} else if outs[i] != decided {
+					return fmt.Errorf("agreement violated among survivors: outs=%v", outs)
+				}
+			}
+			for i, p := range procs {
+				if p.Crashed() && outs[i] != 0 && outs[i] != decided {
+					return fmt.Errorf("crashed process %d recorded %d != decided %d", i, outs[i], decided)
+				}
+			}
+			return nil
+		}
+		return sys, verify
+	}
+}
+
+// TestFig7CrashFuzz: seeded random schedules plus seeded random
+// crash-stop faults with every budget k in 1..n-1 find no violation of
+// agreement, validity, or the polynomial wait-free bound.
+func TestFig7CrashFuzz(t *testing.T) {
+	for _, cfg := range []multicons.Config{
+		{Name: "f7", P: 2, K: 0, M: 2, V: 1},
+		{Name: "f7", P: 2, K: 1, M: 2, V: 2},
+	} {
+		n := cfg.P * cfg.M
+		bound := int64(200 * (cfg.Levels() + n)) // Theorem 4 poly-bound idiom
+		for k := 1; k < n; k++ {
+			var crashSeed atomic.Int64
+			res := check.Fuzz(crashFig7Builder(cfg, bigQ, k, &crashSeed), 40, check.Options{
+				WaitFreeBound: bound,
+			})
+			if !res.OK() {
+				t.Fatalf("cfg=%+v k=%d: %+v", cfg, k, res.First())
+			}
+			if res.StepLimited != 0 {
+				t.Fatalf("cfg=%+v k=%d: %d runs hit the step limit", cfg, k, res.StepLimited)
+			}
+		}
+	}
+}
+
+// TestFig7CrashPlannedSweep crashes the first process at a sweep of
+// early points under a deterministic schedule: a dead election winner
+// at any level must not block the survivors' tower climb.
+func TestFig7CrashPlannedSweep(t *testing.T) {
+	cfg := multicons.Config{Name: "f7", P: 2, K: 1, M: 2, V: 1}
+	n := cfg.P * cfg.M
+	for step := int64(0); step <= 120; step += 5 {
+		aud := sim.NewAuditor(bigQ)
+		sys := sim.New(sim.Config{
+			Processors: cfg.P, Quantum: bigQ,
+			Chooser:  sched.NewCrash(sim.FirstChooser{}, sched.CrashPoint{Proc: 0, Step: step}),
+			Observer: aud, MaxSteps: 1 << 22,
+		})
+		alg := multicons.New(cfg)
+		outs := make([]mem.Word, n)
+		procs := make([]*sim.Process, n)
+		id := 0
+		for i := 0; i < cfg.P; i++ {
+			for j := 0; j < cfg.M; j++ {
+				me := id
+				procs[me] = sys.AddProcess(sim.ProcSpec{Processor: i, Priority: 1})
+				procs[me].AddInvocation(func(c *sim.Ctx) {
+					outs[me] = alg.Decide(c, mem.Word(me+1))
+				})
+				id++
+			}
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatalf("step=%d: %v", step, err)
+		}
+		if err := aud.Err(); err != nil {
+			t.Fatalf("step=%d: %v", step, err)
+		}
+		decided := mem.Word(0)
+		for i, p := range procs {
+			if p.Crashed() {
+				continue
+			}
+			if outs[i] == 0 {
+				t.Fatalf("step=%d: survivor %d never decided", step, i)
+			}
+			if decided == 0 {
+				decided = outs[i]
+			} else if outs[i] != decided {
+				t.Fatalf("step=%d: survivors disagree: %v", step, outs)
+			}
+		}
+	}
+}

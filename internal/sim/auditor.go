@@ -21,6 +21,10 @@ import "fmt"
 //     interruptions do not count against the quantum.
 //   - Event sanity: statements only from arrived processes, preemptions
 //     only between equal priorities on one processor.
+//   - Crash-stop semantics: a crashed process is departed — it must
+//     never execute another statement, arrive, crash again, or appear
+//     on either side of a preemption; its unfinished invocation must
+//     not block lower-priority survivors (its Axiom 1 claim lapses).
 type Auditor struct {
 	quantum int
 	procs   map[*Process]*auditState
@@ -29,6 +33,7 @@ type Auditor struct {
 
 type auditState struct {
 	active       bool // mid-invocation
+	crashed      bool // halted by a crash-stop fault
 	sinceResume  int  // own statements since last same-priority preemption
 	preemptedInv bool // suffered a same-priority preemption this invocation
 }
@@ -62,6 +67,10 @@ func (a *Auditor) state(p *Process) *auditState {
 func (a *Auditor) OnStatement(ev StmtEvent) {
 	p := ev.Proc
 	s := a.state(p)
+	if s.crashed {
+		a.fail("step %d: crashed process %s executed a statement", ev.Step, p.Name())
+		return
+	}
 	if !s.active {
 		a.fail("step %d: %s executed a statement while not mid-invocation", ev.Step, p.Name())
 		return
@@ -80,6 +89,10 @@ func (a *Auditor) OnStatement(ev StmtEvent) {
 // OnSchedule implements Observer.
 func (a *Auditor) OnSchedule(ev SchedEvent) {
 	s := a.state(ev.Proc)
+	if s.crashed {
+		a.fail("step %d: %s event for crashed process %s", ev.Step, ev.Kind, ev.Proc.Name())
+		return
+	}
 	switch ev.Kind {
 	case SchedArrive:
 		if s.active {
@@ -91,9 +104,19 @@ func (a *Auditor) OnSchedule(ev SchedEvent) {
 		s.preemptedInv = false
 	case SchedInvEnd, SchedProcDone:
 		s.active = false
+	case SchedCrash:
+		// Crash-stop: the process departs; its unfinished invocation no
+		// longer claims its priority level (Axiom 1) and it earns no
+		// quantum protection (Axiom 2) — it simply must never act again.
+		s.active = false
+		s.crashed = true
 	case SchedPreempt:
 		if ev.By == nil {
 			a.fail("step %d: preemption of %s without a preemptor", ev.Step, ev.Proc.Name())
+			return
+		}
+		if a.state(ev.By).crashed {
+			a.fail("step %d: %s preempted by crashed process %s", ev.Step, ev.Proc.Name(), ev.By.Name())
 			return
 		}
 		if ev.By.Priority() != ev.Proc.Priority() || ev.By.Processor() != ev.Proc.Processor() {

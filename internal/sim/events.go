@@ -51,6 +51,7 @@ const (
 	SchedPreempt                       // same-priority (quantum) preemption
 	SchedInvEnd                        // invocation completed
 	SchedProcDone                      // process program finished
+	SchedCrash                         // process halted by a crash-stop fault
 )
 
 // String returns a short mnemonic for the scheduling event kind.
@@ -64,6 +65,8 @@ func (k SchedKind) String() string {
 		return "inv-end"
 	case SchedProcDone:
 		return "done"
+	case SchedCrash:
+		return "crash"
 	default:
 		return "?"
 	}

@@ -29,8 +29,17 @@ func (s *System) Run() error {
 		s.consume(p, <-p.toKernel)
 	}
 
+	crasher, _ := s.cfg.Chooser.(Crasher)
 	for {
 		cands := s.candidates()
+		if crasher != nil && !s.allDone() {
+			if victims := crasher.Crashes(Decision{Candidates: cands, Procs: s.procs, Step: s.steps}); len(victims) > 0 {
+				for _, v := range victims {
+					s.crash(v)
+				}
+				cands = s.candidates()
+			}
+		}
 		if len(cands) == 0 {
 			if s.allDone() {
 				break
@@ -43,7 +52,7 @@ func (s *System) Run() error {
 		}
 		idx := 0
 		if len(cands) > 1 {
-			idx = s.cfg.Chooser.Pick(Decision{Candidates: cands, Step: s.steps})
+			idx = s.cfg.Chooser.Pick(Decision{Candidates: cands, Procs: s.procs, Step: s.steps})
 			if idx < 0 || idx >= len(cands) {
 				s.abortAll()
 				return fmt.Errorf("sim: chooser picked %d of %d candidates", idx, len(cands))
@@ -63,11 +72,37 @@ func (s *System) Run() error {
 
 func (s *System) allDone() bool {
 	for _, p := range s.procs {
-		if p.state != stateDone {
+		if p.state != stateDone && p.state != stateCrashed {
 			return false
 		}
 	}
 	return true
+}
+
+// crash halts process p permanently (a crash-stop fault). The victim's
+// goroutine is unwound, its quantum protection lapses, and its priority
+// level's holder slot frees — it departs, it is not preempted, so no
+// SchedPreempt is emitted and no survivor gains quantum protection from
+// the crash. Done or already-crashed victims are ignored.
+func (s *System) crash(p *Process) {
+	if p.sys != s {
+		panic(fmt.Sprintf("sim: crash of foreign process %s", p.name))
+	}
+	if p.state == stateDone || p.state == stateCrashed {
+		return
+	}
+	if s.holders[p.processor][p.pri] == p {
+		delete(s.holders[p.processor], p.pri)
+	}
+	p.protected = false
+	s.observeSched(SchedEvent{Kind: SchedCrash, Proc: p, Step: s.steps})
+	// Unwind the goroutine: every non-done process is blocked receiving
+	// from fromKernel, and an aborted process sends exactly one final
+	// yieldDone.
+	p.fromKernel <- grantAbort
+	<-p.toKernel
+	p.state = stateCrashed
+	p.crashed = true
 }
 
 // candidates returns, in deterministic (process ID) order, every process
@@ -132,6 +167,10 @@ func (s *System) grant(p *Process) {
 	i, lvl := p.processor, p.pri
 	if p.state == stateThinking {
 		s.observeSched(SchedEvent{Kind: SchedArrive, Proc: p, Step: s.steps})
+		// The arrival statement starts the invocation: mark the process
+		// runnable now so a single-statement invocation (whose next yield
+		// is already thinking/done) still completes in consume.
+		p.state = stateRunnable
 	}
 	if h := s.holders[i][lvl]; h != nil && h != p && h.state == stateRunnable {
 		// Same-priority preemption of the current quantum holder. Per
@@ -207,9 +246,10 @@ func (s *System) observeSched(ev SchedEvent) {
 
 // abortAll unwinds every live process goroutine. It relies on the kernel
 // invariant that every non-done process is blocked on fromKernel.
+// Crashed processes were already unwound by crash.
 func (s *System) abortAll() {
 	for _, p := range s.procs {
-		for p.state != stateDone {
+		for p.state != stateDone && p.state != stateCrashed {
 			p.fromKernel <- grantAbort
 			msg := <-p.toKernel
 			if msg.kind == yieldDone {

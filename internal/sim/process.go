@@ -35,6 +35,7 @@ const (
 	stateThinking procState = iota + 1 // awaiting arrival of next invocation
 	stateRunnable                      // mid-invocation, ready to run
 	stateDone                          // program finished
+	stateCrashed                       // halted permanently by a crash-stop fault
 )
 
 // errAborted is the panic value used to unwind a process goroutine when
@@ -79,6 +80,7 @@ type Process struct {
 	lastEvent StmtEvent
 
 	aborted bool
+	crashed bool
 	err     error
 }
 
@@ -124,8 +126,32 @@ func (p *Process) AddInvocationPri(pri int, inv Invocation) *Process {
 func (p *Process) StmtsTotal() int64 { return p.stmtsTotal }
 
 // MaxInvStmts returns the maximum statements executed in any single
-// invocation — the process's worst-case wait-free step bound in this run.
+// completed invocation — the process's worst-case wait-free step bound
+// in this run.
 func (p *Process) MaxInvStmts() int64 { return p.maxInvStmts }
+
+// WorstInvStmts returns the maximum statements the process executed
+// within any single invocation, including an invocation still in
+// progress when the run ended (crash, abort, or step limit). This is
+// the quantity a wait-freedom bound constrains: a process spinning
+// forever never completes its invocation, so MaxInvStmts alone would
+// miss it.
+func (p *Process) WorstInvStmts() int64 {
+	if p.stmtsThisInv > p.maxInvStmts {
+		return p.stmtsThisInv
+	}
+	return p.maxInvStmts
+}
+
+// Crashed reports whether the process was halted by a crash-stop fault.
+func (p *Process) Crashed() bool { return p.crashed }
+
+// Live reports whether the process has neither finished its program nor
+// crashed. Kernel-side state: safe to read from a Chooser or after Run,
+// not from algorithm code.
+func (p *Process) Live() bool {
+	return p.state != stateDone && p.state != stateCrashed
+}
 
 // Preemptions returns how many same-priority preemptions the process
 // suffered.

@@ -53,8 +53,15 @@ import (
 // Candidates are ordered deterministically (by process ID).
 type Decision struct {
 	// Candidates holds the legally runnable processes; len ≥ 2 (the
-	// kernel resolves singleton decisions itself).
+	// kernel resolves singleton decisions itself) except for Decisions
+	// passed to Crasher.Crashes, which are delivered at every scheduling
+	// step and may have any number of candidates.
 	Candidates []*Process
+	// Procs holds every registered process in ID order, including done
+	// and crashed ones; fault-injecting choosers use it to crash
+	// processes that are not currently candidates (e.g. a preempted
+	// process mid-invocation).
+	Procs []*Process
 	// Step is the number of statements executed so far.
 	Step int64
 }
@@ -63,6 +70,23 @@ type Decision struct {
 // into d.Candidates.
 type Chooser interface {
 	Pick(d Decision) int
+}
+
+// Crasher is an optional Chooser extension implementing crash-stop
+// fault injection. Before every scheduling step the kernel invites the
+// chooser to halt processes permanently: a crashed process never
+// executes another statement, its unfinished invocation stays
+// unfinished, and the scheduler treats it as departed — its quantum
+// protection and priority claims lapse without a preemption event, so
+// Axiom 1/2 accounting for the survivors is unaffected. Victims that
+// are already done or crashed are ignored; victims from a different
+// System are a programming error (panic).
+type Crasher interface {
+	Chooser
+	// Crashes returns the processes to crash before this scheduling
+	// step. d.Candidates is the pre-crash candidate set; d.Procs lists
+	// all processes.
+	Crashes(d Decision) []*Process
 }
 
 // ChooserFunc adapts a function to the Chooser interface.
@@ -186,6 +210,18 @@ func (s *System) AddProcess(spec ProcSpec) *Process {
 
 // Steps returns the number of statements executed so far.
 func (s *System) Steps() int64 { return s.steps }
+
+// CrashedCount returns how many processes were halted by crash-stop
+// faults during the run.
+func (s *System) CrashedCount() int {
+	n := 0
+	for _, p := range s.procs {
+		if p.crashed {
+			n++
+		}
+	}
+	return n
+}
 
 // Processes returns the registered processes in ID order. The returned
 // slice must not be modified.

@@ -1,0 +1,143 @@
+package unicons_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/unicons"
+)
+
+// crashConsensusBuilder is consensusBuilder under a crash-stop
+// adversary: every built run additionally crashes up to k of the n
+// processes at seeded random points. Survivors must still reach
+// agreement on a valid proposal within the constant step bound; a
+// crashed process that recorded an output before dying must agree too.
+// outs uses 0 as the "never finished" sentinel (proposals are 1..n).
+func crashConsensusBuilder(n, k int, crashSeed *atomic.Int64) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		crashing := sched.NewRandomCrash(ch, crashSeed.Add(1), k, 0.05)
+		aud := sim.NewAuditor(unicons.MinQuantum)
+		sys := sim.New(sim.Config{
+			Processors: 1, Quantum: unicons.MinQuantum,
+			Chooser: crashing, Observer: aud, MaxSteps: 1 << 16,
+		})
+		obj := unicons.New("cons")
+		outs := make([]mem.Word, n)
+		procs := make([]*sim.Process, n)
+		for i := 0; i < n; i++ {
+			i := i
+			procs[i] = sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: fmt.Sprintf("p%d", i)})
+			procs[i].AddInvocation(func(c *sim.Ctx) {
+				outs[i] = obj.Decide(c, mem.Word(i+1))
+			})
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			if err := aud.Err(); err != nil {
+				return err
+			}
+			decided := mem.Word(0)
+			for i, p := range procs {
+				if p.Crashed() {
+					continue
+				}
+				if p.CompletedInvocations() != 1 || outs[i] == 0 {
+					return fmt.Errorf("survivor %d did not decide (crashes must not block survivors)", i)
+				}
+				if outs[i] < 1 || outs[i] > mem.Word(n) {
+					return fmt.Errorf("validity violated: survivor %d decided %d", i, outs[i])
+				}
+				if decided == 0 {
+					decided = outs[i]
+				} else if outs[i] != decided {
+					return fmt.Errorf("agreement violated among survivors: outs=%v", outs)
+				}
+			}
+			for i, p := range procs {
+				if p.Crashed() && outs[i] != 0 && outs[i] != decided {
+					return fmt.Errorf("crashed process %d recorded %d != decided %d", i, outs[i], decided)
+				}
+			}
+			return nil
+		}
+		return sys, verify
+	}
+}
+
+// TestUniconsCrashFuzz: for every crash budget k in 1..n-1, seeded
+// random schedules with seeded random crash-stop faults find no
+// violation of agreement, validity, or the constant wait-free bound.
+func TestUniconsCrashFuzz(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		for k := 1; k < n; k++ {
+			var crashSeed atomic.Int64
+			res := check.Fuzz(crashConsensusBuilder(n, k, &crashSeed), 150, check.Options{
+				WaitFreeBound: unicons.Stmts,
+			})
+			if !res.OK() {
+				t.Fatalf("n=%d k=%d: %+v", n, k, res.First())
+			}
+			if res.StepLimited != 0 {
+				t.Fatalf("n=%d k=%d: %d runs hit the step limit", n, k, res.StepLimited)
+			}
+		}
+	}
+}
+
+// TestUniconsCrashEveryPoint sweeps a planned crash of the first-running
+// process over every point of its 8-statement invocation, under both a
+// run-to-completion and a maximally-switching inner schedule: wherever
+// the victim dies, survivors decide a single valid value.
+func TestUniconsCrashEveryPoint(t *testing.T) {
+	for step := int64(0); step <= 2*unicons.Stmts; step++ {
+		for chName, mk := range map[string]func() sim.Chooser{
+			"first":  func() sim.Chooser { return sim.FirstChooser{} },
+			"rotate": func() sim.Chooser { return sched.NewRotate() },
+		} {
+			aud := sim.NewAuditor(unicons.MinQuantum)
+			sys := sim.New(sim.Config{
+				Processors: 1, Quantum: unicons.MinQuantum,
+				Chooser:  sched.NewCrash(mk(), sched.CrashPoint{Proc: 0, Step: step}),
+				Observer: aud, MaxSteps: 1 << 12,
+			})
+			obj := unicons.New("cons")
+			const n = 3
+			outs := make([]mem.Word, n)
+			procs := make([]*sim.Process, n)
+			for i := 0; i < n; i++ {
+				i := i
+				procs[i] = sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+				procs[i].AddInvocation(func(c *sim.Ctx) {
+					outs[i] = obj.Decide(c, mem.Word(i+1))
+				})
+			}
+			if err := sys.Run(); err != nil {
+				t.Fatalf("step=%d %s: %v", step, chName, err)
+			}
+			if err := aud.Err(); err != nil {
+				t.Fatalf("step=%d %s: %v", step, chName, err)
+			}
+			decided := mem.Word(0)
+			for i, p := range procs {
+				if p.Crashed() {
+					continue
+				}
+				if outs[i] == 0 {
+					t.Fatalf("step=%d %s: survivor %d never decided", step, chName, i)
+				}
+				if decided == 0 {
+					decided = outs[i]
+				} else if outs[i] != decided {
+					t.Fatalf("step=%d %s: survivors disagree: %v", step, chName, outs)
+				}
+			}
+		}
+	}
+}

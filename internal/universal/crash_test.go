@@ -1,0 +1,109 @@
+package universal_test
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/universal"
+)
+
+// crashCounterBuilder is counterBuilder under a crash-stop adversary
+// crashing up to k of the n processes. A crashed process has at most one
+// in-flight increment, which helpers may still apply after the crash, so
+// the final value is bracketed by the recorded-return count and that
+// count plus the number of crashes; recorded returns must stay distinct
+// and per-process increasing, and survivors must complete every op.
+func crashCounterBuilder(n, levels, opsPer, k int, crashSeed *atomic.Int64) check.Builder {
+	return func(ch sim.Chooser) (*sim.System, check.Verify) {
+		crashing := sched.NewRandomCrash(ch, crashSeed.Add(1), k, 0.03)
+		aud := sim.NewAuditor(32)
+		sys := sim.New(sim.Config{
+			Processors: 1, Quantum: 32,
+			Chooser: crashing, Observer: aud, MaxSteps: 1 << 20,
+		})
+		ctr := universal.NewCounter("ctr", 0)
+		rets := make([][]mem.Word, n)
+		procs := make([]*sim.Process, n)
+		for i := 0; i < n; i++ {
+			i := i
+			procs[i] = sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%levels})
+			for op := 0; op < opsPer; op++ {
+				procs[i].AddInvocation(func(c *sim.Ctx) {
+					rets[i] = append(rets[i], ctr.Inc(c))
+				})
+			}
+		}
+		verify := func(runErr error) error {
+			if runErr != nil {
+				return fmt.Errorf("run failed: %w", runErr)
+			}
+			if err := aud.Err(); err != nil {
+				return err
+			}
+			crashed, recorded := 0, 0
+			var all []int
+			for i, p := range procs {
+				if p.Crashed() {
+					crashed++
+				} else if p.CompletedInvocations() != opsPer {
+					return fmt.Errorf("survivor %d completed %d/%d ops", i, p.CompletedInvocations(), opsPer)
+				}
+				for j := 1; j < len(rets[i]); j++ {
+					if rets[i][j] <= rets[i][j-1] {
+						return fmt.Errorf("process %d returns not increasing: %v", i, rets[i])
+					}
+				}
+				for _, v := range rets[i] {
+					all = append(all, int(v))
+				}
+				recorded += len(rets[i])
+			}
+			final := int(ctr.Peek())
+			if final < recorded || final > recorded+crashed {
+				return fmt.Errorf("final = %d, want in [%d, %d] (%d recorded, %d crashed)",
+					final, recorded, recorded+crashed, recorded, crashed)
+			}
+			sort.Ints(all)
+			for j := 1; j < len(all); j++ {
+				if all[j] == all[j-1] {
+					return fmt.Errorf("duplicate return %d: %v", all[j], all)
+				}
+			}
+			for _, v := range all {
+				if v < 0 || v >= final {
+					return fmt.Errorf("return %d outside applied range [0, %d)", v, final)
+				}
+			}
+			return nil
+		}
+		return sys, verify
+	}
+}
+
+// TestCounterCrashFuzz: seeded random schedules plus seeded random
+// crash-stop faults with every budget k in 1..n-1 find no violation of
+// the counter's linearizable semantics or the wait-free bound.
+func TestCounterCrashFuzz(t *testing.T) {
+	for _, cfg := range []struct{ n, levels, ops int }{
+		{3, 1, 2}, {3, 3, 1}, {4, 2, 1},
+	} {
+		for k := 1; k < cfg.n; k++ {
+			var crashSeed atomic.Int64
+			res := check.Fuzz(crashCounterBuilder(cfg.n, cfg.levels, cfg.ops, k, &crashSeed), 80, check.Options{
+				WaitFreeBound: int64(500 * (cfg.levels + cfg.n)),
+			})
+			if !res.OK() {
+				t.Fatalf("n=%d V=%d ops=%d k=%d: %+v", cfg.n, cfg.levels, cfg.ops, k, res.First())
+			}
+			if res.StepLimited != 0 {
+				t.Fatalf("n=%d V=%d k=%d: %d runs hit the step limit", cfg.n, cfg.levels, k, res.StepLimited)
+			}
+		}
+	}
+}

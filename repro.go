@@ -119,6 +119,38 @@ func NewRunToCompletionScheduler() Scheduler { return &sched.RunToCompletion{} }
 // NewStaggerScheduler returns the Theorem 3 quantum-stagger adversary.
 func NewStaggerScheduler(period, phase int) Scheduler { return sched.NewStagger(period, phase) }
 
+// Crash-stop faults.
+
+// Crasher extends Scheduler with crash-stop fault injection: the kernel
+// polls Crashes at every scheduling step and permanently halts the
+// returned processes. A crashed process is departed, not preempted —
+// wait-free algorithms must keep every survivor's step bound intact.
+type Crasher = sim.Crasher
+
+// CrashPoint plans one crash-stop fault (process Proc at the first
+// scheduling step at or after global statement Step).
+type CrashPoint = sched.CrashPoint
+
+// CrashScheduler wraps an inner scheduler with a fixed crash plan.
+type CrashScheduler = sched.Crash
+
+// RandomCrashScheduler wraps an inner scheduler with seeded random
+// crash-stop faults; its Injected field counts crashes delivered.
+type RandomCrashScheduler = sched.RandomCrash
+
+// NewCrashScheduler wraps inner with a deterministic crash plan.
+func NewCrashScheduler(inner Scheduler, plan ...CrashPoint) *CrashScheduler {
+	return sched.NewCrash(inner, plan...)
+}
+
+// NewRandomCrashScheduler wraps inner with seeded random crash-stop
+// faults: at each step, with probability prob (≤ 0 selects
+// sched.DefaultCrashProb), one uniformly chosen live process crashes,
+// up to maxCrashes in total.
+func NewRandomCrashScheduler(inner Scheduler, seed int64, maxCrashes int, prob float64) *RandomCrashScheduler {
+	return sched.NewRandomCrash(inner, seed, maxCrashes, prob)
+}
+
 // Paper algorithms.
 
 // Consensus is the Fig. 3 uniprocessor consensus object (Theorem 1):
