@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench examples experiments soak clean
+.PHONY: all build vet test test-short test-race bench bench-json examples experiments soak clean
 
 all: build vet test
 
@@ -23,6 +23,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable throughput data point (schedules/sec sequential vs
+# parallel, shrink candidate replays/sec); format in EXPERIMENTS.md.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_explore.json
 
 examples:
 	$(GO) run ./examples/quickstart

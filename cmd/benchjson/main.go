@@ -1,0 +1,91 @@
+// Command benchjson measures explorer and shrinker throughput and
+// writes a machine-readable JSON data point, the repo's bench
+// trajectory across PRs (`make bench-json` → BENCH_explore.json). The
+// format is documented in EXPERIMENTS.md ("Bench trajectory").
+//
+// Usage:
+//
+//	benchjson                       # writes BENCH_explore.json
+//	benchjson -o out.json
+//	benchjson -parallel 4           # worker count for the parallel leg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// report is the BENCH_explore.json schema, version 1.
+type report struct {
+	Version    int                    `json:"version"`
+	Timestamp  string                 `json:"timestamp"`
+	GoVersion  string                 `json:"go"`
+	CPUs       int                    `json:"cpus"`
+	Sequential bench.Throughput       `json:"explore_sequential"`
+	Parallel   bench.Throughput       `json:"explore_parallel"`
+	Speedup    float64                `json:"speedup"`
+	Shrink     bench.ShrinkThroughput `json:"shrink"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_explore.json", "output path")
+		parallel = flag.Int("parallel", 0, "workers for the parallel leg (0 = all CPUs)")
+		budget   = flag.Int("shrink-budget", 0, "shrink candidate budget (0 = internal/minimize default)")
+	)
+	flag.Parse()
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	seq, err := bench.ExploreThroughput(1)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: sequential: %d schedules in %.2fs (%.0f/sec)\n",
+		seq.Schedules, seq.Seconds, seq.PerSec)
+	par, err := bench.ExploreThroughput(workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: parallel(%d): %d schedules in %.2fs (%.0f/sec, %.2fx)\n",
+		workers, par.Schedules, par.Seconds, par.PerSec, par.PerSec/seq.PerSec)
+	shr, err := bench.MeasureShrink(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: shrink: %d candidate replays in %.2fs (%.0f/sec), %d -> %d decisions\n",
+		shr.Candidates, shr.Seconds, shr.PerSec, shr.FromDecisions, shr.ToDecisions)
+
+	rep := report{
+		Version:    1,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Sequential: seq,
+		Parallel:   par,
+		Speedup:    par.PerSec / seq.PerSec,
+		Shrink:     shr,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

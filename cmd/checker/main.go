@@ -2,6 +2,11 @@
 // space: exhaustively for tiny configurations, with a context-switch
 // deviation budget or random fuzzing for larger ones.
 //
+// Violations are reported with their canonical decision vectors; with
+// -artifact-dir each one is additionally written as a replayable repro
+// bundle (see internal/artifact and cmd/shrink), and -minimize shrinks
+// every bundle to a minimal still-failing kernel first.
+//
 // Usage:
 //
 //	checker -alg fig3 -n 2 -q 8 -mode all
@@ -9,6 +14,7 @@
 //	checker -alg fig7 -p 2 -q 2048 -mode fuzz -seeds 500
 //	checker -alg fig7 -p 2 -mode all -timeout 30s        # partial results at the deadline
 //	checker -alg fig3 -n 3 -waitfree-bound 8             # enforce the Theorem 1 step bound
+//	checker -alg fig3 -n 3 -q 2 -minimize -artifact-dir ./artifacts
 package main
 
 import (
@@ -18,45 +24,55 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/artifact"
 	"repro/internal/check"
-	"repro/internal/mem"
-	"repro/internal/multicons"
-	"repro/internal/sim"
-	"repro/internal/unicons"
 )
 
 func main() {
 	var (
-		alg      = flag.String("alg", "fig3", "algorithm: fig3|fig7")
-		n        = flag.Int("n", 2, "processes (fig3)")
-		v        = flag.Int("v", 1, "priority levels")
-		p        = flag.Int("p", 2, "processors (fig7)")
-		k        = flag.Int("k", 0, "C = P+K (fig7)")
-		m        = flag.Int("m", 1, "processes per processor (fig7)")
-		q        = flag.Int("q", 8, "scheduling quantum")
-		mode     = flag.String("mode", "budget", "exploration: all|budget|fuzz")
-		budget   = flag.Int("budget", 3, "context-switch deviation budget")
-		seeds    = flag.Int("seeds", 500, "fuzz seeds")
-		maxSch   = flag.Int("max", 200000, "schedule cap")
-		parallel = flag.Int("parallel", 0, "exploration workers (0 = all CPUs, 1 = sequential)")
-		progress = flag.Bool("progress", false, "report live schedules/sec and violation count on stderr")
-		timeout  = flag.Duration("timeout", 0, "wall-clock bound; on expiry the exploration stops at a schedule boundary with partial results (0 = none)")
-		wfBound  = flag.Int64("waitfree-bound", 0, "fail any run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
+		alg         = flag.String("alg", "fig3", "algorithm: fig3|fig7")
+		n           = flag.Int("n", 2, "processes (fig3)")
+		v           = flag.Int("v", 1, "priority levels")
+		p           = flag.Int("p", 2, "processors (fig7)")
+		k           = flag.Int("k", 0, "C = P+K (fig7)")
+		m           = flag.Int("m", 1, "processes per processor (fig7)")
+		q           = flag.Int("q", 8, "scheduling quantum")
+		mode        = flag.String("mode", "budget", "exploration: all|budget|fuzz")
+		budget      = flag.Int("budget", 3, "context-switch deviation budget")
+		seeds       = flag.Int("seeds", 500, "fuzz seeds")
+		maxSch      = flag.Int("max", 200000, "schedule cap")
+		parallel    = flag.Int("parallel", 0, "exploration workers (0 = all CPUs, 1 = sequential)")
+		progress    = flag.Bool("progress", false, "report live schedules/sec and violation count on stderr")
+		timeout     = flag.Duration("timeout", 0, "wall-clock bound; on expiry the exploration stops at a schedule boundary with partial results (0 = none)")
+		wfBound     = flag.Int64("waitfree-bound", 0, "fail any run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
+		artDir      = flag.String("artifact-dir", "", "write a replayable repro bundle per violation into this directory")
+		minimizeF   = flag.Bool("minimize", false, "shrink each violation to a minimal still-failing schedule before reporting")
+		shrinkBudg  = flag.Int("shrink-budget", 0, "candidate replays per shrunk violation (0 = internal/minimize default)")
 	)
 	flag.Parse()
 
-	var build check.Builder
+	var meta artifact.Meta
 	switch *alg {
 	case "fig3":
-		build = fig3Builder(*n, *v, *q)
+		meta = artifact.Meta{Workload: "unicons", N: *n, V: *v, Quantum: *q, MaxSteps: 1 << 18}
 	case "fig7":
-		build = fig7Builder(multicons.Config{Name: "f7", P: *p, K: *k, M: *m, V: *v}, *q)
+		meta = artifact.Meta{Workload: "multicons", P: *p, K: *k, M: *m, V: *v, Quantum: *q, MaxSteps: 1 << 23}
 	default:
 		fmt.Fprintf(os.Stderr, "checker: unknown -alg %q\n", *alg)
 		os.Exit(2)
 	}
+	build, err := check.BuilderFor(meta)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel, WaitFreeBound: *wfBound}
+	if *minimizeF || *artDir != "" {
+		opts.ArtifactMeta = &meta
+		opts.Minimize = *minimizeF
+		opts.ShrinkBudget = *shrinkBudg
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -101,62 +117,26 @@ func main() {
 		return
 	}
 	fmt.Printf("VIOLATIONS: %d recorded of %d total\n", len(res.Violations), res.ViolationsTotal)
-	for _, viol := range res.Violations {
+	for i := range res.Violations {
+		viol := &res.Violations[i]
 		fmt.Printf("  %s: %v\n", viol.Schedule, viol.Err)
+		if viol.Decisions != nil {
+			fmt.Printf("    decisions=%v\n", viol.Decisions)
+		}
+		if viol.Shrink != nil {
+			fmt.Printf("    shrunk: %s\n", viol.Shrink)
+		}
+		if viol.ForensicsErr != nil {
+			fmt.Fprintf(os.Stderr, "checker: forensics failed for %s: %v\n", viol.Schedule, viol.ForensicsErr)
+		}
+		if viol.Artifact != nil && *artDir != "" {
+			path, err := viol.Artifact.SaveDir(*artDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+			} else {
+				fmt.Printf("    artifact: %s\n", path)
+			}
+		}
 	}
 	os.Exit(1)
-}
-
-func fig3Builder(n, v, q int) check.Builder {
-	return func(ch sim.Chooser) (*sim.System, check.Verify) {
-		sys := sim.New(sim.Config{Processors: 1, Quantum: q, Chooser: ch, MaxSteps: 1 << 18})
-		obj := unicons.New("cons")
-		outs := make([]mem.Word, n)
-		for i := 0; i < n; i++ {
-			i := i
-			pri := 1
-			if v > 1 {
-				pri = 1 + i%v
-			}
-			sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: pri}).
-				AddInvocation(func(c *sim.Ctx) { outs[i] = obj.Decide(c, mem.Word(i+1)) })
-		}
-		return sys, verifyAgreement(outs)
-	}
-}
-
-func fig7Builder(cfg multicons.Config, q int) check.Builder {
-	return func(ch sim.Chooser) (*sim.System, check.Verify) {
-		sys := sim.New(sim.Config{Processors: cfg.P, Quantum: q, Chooser: ch, MaxSteps: 1 << 23})
-		alg := multicons.New(cfg)
-		n := cfg.P * cfg.M
-		outs := make([]mem.Word, n)
-		id := 0
-		for i := 0; i < cfg.P; i++ {
-			for j := 0; j < cfg.M; j++ {
-				me := id
-				sys.AddProcess(sim.ProcSpec{Processor: i, Priority: 1 + j%cfg.V}).
-					AddInvocation(func(c *sim.Ctx) { outs[me] = alg.Decide(c, mem.Word(me+1)) })
-				id++
-			}
-		}
-		return sys, verifyAgreement(outs)
-	}
-}
-
-func verifyAgreement(outs []mem.Word) check.Verify {
-	return func(runErr error) error {
-		if runErr != nil {
-			return fmt.Errorf("run failed: %w", runErr)
-		}
-		for i, o := range outs {
-			if o == mem.Bottom {
-				return fmt.Errorf("process %d decided ⊥", i)
-			}
-			if o != outs[0] {
-				return fmt.Errorf("agreement violated: %v", outs)
-			}
-		}
-		return nil
-	}
 }

@@ -1,21 +1,25 @@
 // Command soak stress-tests the full object stack for a configurable
 // duration: randomized schedules over mixed workloads (Fig. 3 consensus,
-// Fig. 5 C&S with and without reclamation, level-local objects,
-// universal counter/queue/stack, Fig. 7 consensus), verifying every
-// run's invariants. Runs are dispatched to a pool of workers; each run's
-// workload is derived deterministically from the base seed and its run
-// index, so a failure reproduces with the same -seed (and -crash-seed)
-// at any -parallel setting.
+// Fig. 5 C&S with reclamation, universal counter/queue), verifying every
+// run's crash-tolerant invariants plus an independent Axiom 1/2 auditor.
+// Each run is the registered "soakmix" artifact workload with its
+// parameters and schedule derived deterministically from the base seed
+// and the run index (artifact.SoakMeta), so a failure reproduces with
+// the same -seed (and -crash-seed) at any -parallel setting — and can be
+// saved as a replayable repro bundle.
 //
 // With -crashes > 0 every run additionally injects up to that many
-// seeded random crash-stop faults, and the invariants are checked in
-// their crash-tolerant form: survivors must agree and the queue may be
-// short only by what crashed mid-operation.
+// seeded random crash-stop faults.
 //
-// Exit status is non-zero on the first violation. The last line of
-// stdout is a machine-readable JSON summary:
+// Exit status is non-zero on the first violation. With -artifact-dir the
+// canonically first failing run is written there as a repro bundle for
+// cmd/shrink. The last line of stdout is a machine-readable JSON
+// summary:
 //
 //	{"runs":N,"violations":V,"crashes":C,"failed":false}
+//
+// plus an "artifact":"<path>" field when a bundle was written; cmd/shrink
+// reads this line directly from a captured soak log.
 //
 // Usage:
 //
@@ -23,19 +27,20 @@
 //	soak -runs 500        # fixed run count instead of a time budget
 //	soak -runs 500 -parallel 1   # sequential
 //	soak -runs 500 -crashes 2    # crash up to 2 processes per run
+//	soak -seconds 60 -crashes 2 -artifact-dir ./soak-artifacts
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro"
+	"repro/internal/artifact"
 )
 
 func main() {
@@ -46,6 +51,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent soak workers (0 = all CPUs)")
 		crashes   = flag.Int("crashes", 0, "max crash-stop faults injected per run (capped at nprocs-1)")
 		crashSeed = flag.Int64("crash-seed", 0, "base seed for crash injection (0 = derive from -seed)")
+		artDir    = flag.String("artifact-dir", "", "write the first failing run as a repro bundle into this directory")
 	)
 	flag.Parse()
 
@@ -82,8 +88,8 @@ func main() {
 				if *runs == 0 && time.Now().After(deadline) {
 					return
 				}
-				nCrashes, err := oneRun(*seed, *crashSeed, idx, *crashes)
-				injected.Add(int64(nCrashes))
+				nCrashed, err := oneRun(*seed, *crashSeed, idx, *crashes)
+				injected.Add(int64(nCrashed))
 				if err != nil {
 					mu.Lock()
 					if errOut == nil || idx < errRun {
@@ -99,145 +105,60 @@ func main() {
 	}
 	wg.Wait()
 	if errOut != nil {
+		// Re-capture the canonically first failing run as a repro
+		// bundle: the trace-bearing bundle is the input to cmd/shrink.
+		artPath := ""
+		if *artDir != "" {
+			meta, s := artifact.SoakMeta(*seed, *crashSeed, errRun, *crashes)
+			if b, rep, err := artifact.Capture(meta, s); err != nil {
+				fmt.Fprintf(os.Stderr, "soak: artifact capture failed: %v\n", err)
+			} else if !rep.Failed() {
+				fmt.Fprintf(os.Stderr, "soak: artifact replay of run %d did not reproduce the failure\n", errRun)
+			} else if artPath, err = b.SaveDir(*artDir); err != nil {
+				fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+				artPath = ""
+			} else {
+				fmt.Printf("soak: repro bundle written to %s\n", artPath)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "soak: FAILED at run %d (base seed %d, crash seed %d) after %d clean runs: %v\n",
 			errRun, *seed, *crashSeed, done.Load(), errOut)
-		summary(done.Load(), 1, injected.Load(), true)
+		summary(done.Load(), 1, injected.Load(), true, artPath)
 		os.Exit(1)
 	}
 	fmt.Printf("soak: %d runs clean, %d crashes injected\n", done.Load(), injected.Load())
-	summary(done.Load(), 0, injected.Load(), false)
+	summary(done.Load(), 0, injected.Load(), false, "")
 }
 
 // summary prints the machine-readable last-line summary.
-func summary(runs, violations, crashes int64, failed bool) {
-	fmt.Printf("{\"runs\":%d,\"violations\":%d,\"crashes\":%d,\"failed\":%v}\n",
-		runs, violations, crashes, failed)
+func summary(runs, violations, crashes int64, failed bool, artifactPath string) {
+	line := map[string]any{
+		"runs": runs, "violations": violations, "crashes": crashes, "failed": failed,
+	}
+	if artifactPath != "" {
+		line["artifact"] = artifactPath
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(data))
 }
 
-// oneRun builds run idx's random mixed workload from the base seed,
-// optionally injects up to maxCrashes crash-stop faults, and verifies
-// the crash-tolerant invariants. It returns the number of crashes
-// injected. All state is local to the call, so runs are safe to execute
-// concurrently.
+// oneRun replays soak run idx — the "soakmix" artifact workload with
+// SoakMeta-derived parameters, schedule, and crash plan — and verifies
+// its crash-tolerant invariants. It returns the number of processes
+// crashed by fault injection. All state is local to the call, so runs
+// are safe to execute concurrently.
 func oneRun(base, crashBase, idx int64, maxCrashes int) (int, error) {
-	rng := rand.New(rand.NewSource(int64(uint64(base) + uint64(idx)*0x9e3779b97f4a7c15)))
-	n := 2 + rng.Intn(6)
-	levels := 1 + rng.Intn(3)
-	quantum := repro.RecommendedQuantum + rng.Intn(32)
-	seed := rng.Int63()
-
-	k := maxCrashes
-	if k > n-1 {
-		k = n - 1 // wait-freedom is only meaningful with a survivor
+	meta, s := artifact.SoakMeta(base, crashBase, idx, maxCrashes)
+	rep, err := artifact.Replay(&artifact.Bundle{Version: artifact.Version, Meta: meta, Sched: s},
+		artifact.ReplayOptions{})
+	if err != nil {
+		return 0, fmt.Errorf("run %d: %w", idx, err)
 	}
-	var chooser repro.Scheduler = repro.NewRandomScheduler(seed)
-	var crasher *repro.RandomCrashScheduler
-	if k > 0 {
-		crasher = repro.NewRandomCrashScheduler(chooser,
-			int64(uint64(crashBase)+uint64(idx)*0x9e3779b97f4a7c15), k, 0)
-		chooser = crasher
+	if rep.Err != nil {
+		return rep.Crashed, fmt.Errorf("run %d (schedule seed %d): %w", idx, s.Seed, rep.Err)
 	}
-
-	aud := repro.NewAuditor(quantum)
-	sys := repro.NewSystem(repro.Config{
-		Processors: 1,
-		Quantum:    quantum,
-		Chooser:    chooser,
-		MaxSteps:   1 << 22,
-		Observer:   aud,
-	})
-	cons := repro.NewConsensus("cons")
-	cas := repro.NewReclaimingCAS("cas", levels, 0, 2)
-	ctr := repro.NewCounter("ctr", 0)
-	q := repro.NewQueue("q")
-
-	// consOuts uses 0 as the "never finished" sentinel (proposals are
-	// 1..n); ops are counted only when their invocation ran to the end,
-	// so a crashed process's in-flight op is uncounted even if applied.
-	consOuts := make([]repro.Word, n)
-	procs := make([]*repro.Process, n)
-	incs := 0
-	enqs, deqs := 0, 0
-
-	for i := 0; i < n; i++ {
-		i := i
-		procs[i] = sys.AddProcess(repro.ProcSpec{Processor: 0, Priority: 1 + i%levels})
-		p := procs[i]
-		p.AddInvocation(func(c *repro.Ctx) {
-			consOuts[i] = cons.Decide(c, repro.Word(i+1))
-		})
-		ops := 1 + rng.Intn(3)
-		for op := 0; op < ops; op++ {
-			switch rng.Intn(4) {
-			case 0:
-				p.AddInvocation(func(c *repro.Ctx) {
-					for {
-						v := cas.Read(c)
-						if cas.CompareAndSwap(c, v, v+1) {
-							incs++
-							return
-						}
-					}
-				})
-			case 1:
-				p.AddInvocation(func(c *repro.Ctx) {
-					ctr.Inc(c)
-					incs++
-				})
-			case 2:
-				p.AddInvocation(func(c *repro.Ctx) {
-					q.Enq(c, repro.Word(i))
-					enqs++
-				})
-			default:
-				p.AddInvocation(func(c *repro.Ctx) {
-					if q.Deq(c) != repro.QueueEmpty {
-						deqs++
-					}
-				})
-			}
-		}
-	}
-	nCrashes := func() int {
-		if crasher == nil {
-			return 0
-		}
-		return crasher.Injected
-	}
-	if err := sys.Run(); err != nil {
-		return nCrashes(), fmt.Errorf("seed %d: run: %w", seed, err)
-	}
-	crashed := 0
-	decided := repro.Word(0)
-	for i, p := range procs {
-		if p.Crashed() {
-			crashed++
-			continue
-		}
-		if consOuts[i] == 0 || consOuts[i] == repro.Bottom {
-			return nCrashes(), fmt.Errorf("seed %d: survivor %d never decided: %v", seed, i, consOuts)
-		}
-		if decided == 0 {
-			decided = consOuts[i]
-		} else if consOuts[i] != decided {
-			return nCrashes(), fmt.Errorf("seed %d: consensus disagreement at %d: %v", seed, i, consOuts)
-		}
-	}
-	for i, p := range procs {
-		if p.Crashed() && consOuts[i] != 0 && consOuts[i] != decided {
-			return nCrashes(), fmt.Errorf("seed %d: crashed process %d recorded %d != decided %d",
-				seed, i, consOuts[i], decided)
-		}
-	}
-	// Each crashed process has at most one in-flight queue op that may
-	// have been applied without being counted, so the imbalance is
-	// bounded by the crash count (and is exactly 0 without crashes).
-	if d := deqs + q.PeekLen() - enqs; d < -crashed || d > crashed {
-		return nCrashes(), fmt.Errorf("seed %d: queue imbalance %d exceeds %d crashes: %d deq + %d left vs %d enq",
-			seed, d, crashed, deqs, q.PeekLen(), enqs)
-	}
-	if err := aud.Err(); err != nil {
-		return nCrashes(), fmt.Errorf("seed %d: %w", seed, err)
-	}
-	return nCrashes(), nil
+	return rep.Crashed, nil
 }

@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	tracer            # both figures
+//	tracer            # both figures, to stdout
 //	tracer -fig 1a    # quantum-based interleaving only
 //	tracer -fig 1b    # priority-based interleaving only
+//	tracer -o fig.txt # write the rendered timelines to a file
+//
+// With -o the rendered output goes to the named file instead of stdout,
+// so tracer output composes with repro artifacts in the same directory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -21,7 +26,24 @@ import (
 func main() {
 	fig := flag.String("fig", "both", "which figure: 1a|1b|both")
 	q := flag.Int("q", 8, "scheduling quantum for the quantum-based figure")
+	outPath := flag.String("o", "", "write the rendered timelines to this file instead of stdout")
 	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracer:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tracer:", err)
+				os.Exit(1)
+			}
+		}()
+		out = f
+	}
 
 	if *fig == "1a" || *fig == "both" {
 		// Fig. 1(a)/Fig. 2: three equal-priority processes, quantum
@@ -34,11 +56,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracer:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("Fig. 1(a)/Fig. 2 — quantum-based interleaving (Q=%d):\n", *q)
-		fmt.Println("legend: [ invocation start  ] end  ! resumes after preemption")
-		fmt.Println("        R read  W write  L local statement")
-		fmt.Print(res.Trace)
-		fmt.Printf("decisions=%v preemptions=%d\n\n", res.Decisions, res.Preemptions)
+		fmt.Fprintf(out, "Fig. 1(a)/Fig. 2 — quantum-based interleaving (Q=%d):\n", *q)
+		fmt.Fprintln(out, "legend: [ invocation start  ] end  ! resumes after preemption")
+		fmt.Fprintln(out, "        R read  W write  L local statement")
+		fmt.Fprint(out, res.Trace)
+		fmt.Fprintf(out, "decisions=%v preemptions=%d\n\n", res.Decisions, res.Preemptions)
 	}
 	if *fig == "1b" || *fig == "both" {
 		// Fig. 1(b): three processes at distinct priorities; preemptors
@@ -50,8 +72,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracer:", err)
 			os.Exit(1)
 		}
-		fmt.Println("Fig. 1(b) — priority-based interleaving (p lowest, r highest):")
-		fmt.Print(res.Trace)
-		fmt.Printf("decisions=%v\n", res.Decisions)
+		fmt.Fprintln(out, "Fig. 1(b) — priority-based interleaving (p lowest, r highest):")
+		fmt.Fprint(out, res.Trace)
+		fmt.Fprintf(out, "decisions=%v\n", res.Decisions)
 	}
 }

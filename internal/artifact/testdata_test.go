@@ -1,0 +1,65 @@
+package artifact_test
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/minimize"
+)
+
+// -update regenerates the committed testdata bundles from scratch
+// (random-seed search + shrink) instead of only checking them:
+//
+//	go test ./internal/artifact -run TestCommitted -update
+var update = flag.Bool("update", false, "regenerate committed testdata bundles")
+
+const lockCounterPath = "testdata/lockcounter.json"
+
+// TestCommittedLockCounterArtifact is the stability check over the
+// repo's committed minimized counterexample: the bundle keeps failing
+// with the recorded wait-freedom violation, and stays small enough to
+// read off the timeline (the ISSUE's ≤ 12 decision acceptance bar).
+// With -update the bundle is first regenerated deterministically.
+func TestCommittedLockCounterArtifact(t *testing.T) {
+	if *update {
+		meta := artifact.Meta{Workload: "lockcounter", N: 2, V: 2, Quantum: 4,
+			MaxSteps: 2000, WaitFreeBound: 50}
+		b := findRandomFailure(t, meta, artifact.Sched{}, 200)
+		min, stats, err := minimize.Shrink(b, minimize.Options{
+			Match: func(err error) bool {
+				return strings.Contains(err.Error(), "wait-freedom violated")
+			},
+		})
+		if err != nil {
+			t.Fatalf("Shrink: %v", err)
+		}
+		t.Logf("regenerated %s: %s", lockCounterPath, stats)
+		if err := min.Save(lockCounterPath); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+
+	b, err := artifact.Load(filepath.Join("testdata", "lockcounter.json"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if n := len(b.Sched.Decisions); n > 12 {
+		t.Fatalf("committed artifact has %d decisions, want ≤ 12", n)
+	}
+	rep, err := artifact.Replay(b, artifact.ReplayOptions{Trace: true})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "wait-freedom violated") {
+		t.Fatalf("committed artifact no longer violates wait-freedom: %v", rep.Err)
+	}
+	if rep.Err.Error() != b.Err {
+		t.Fatalf("outcome drifted from recorded error:\n  recorded: %s\n  replayed: %s", b.Err, rep.Err)
+	}
+	if rep.Trace != b.Trace {
+		t.Fatal("rendered timeline drifted from the committed trace")
+	}
+}

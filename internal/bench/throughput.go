@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/check"
+	"repro/internal/minimize"
+)
+
+// Throughput is one timed run of the schedule explorer.
+type Throughput struct {
+	Workers   int     `json:"workers"`
+	Schedules int     `json:"schedules"`
+	Seconds   float64 `json:"seconds"`
+	PerSec    float64 `json:"schedules_per_sec"`
+}
+
+// ShrinkThroughput is one timed run of the counterexample shrinker:
+// candidate replays per second over a real violating bundle.
+type ShrinkThroughput struct {
+	Workload      string  `json:"workload"`
+	Candidates    int     `json:"candidate_replays"`
+	Seconds       float64 `json:"seconds"`
+	PerSec        float64 `json:"candidates_per_sec"`
+	FromDecisions int     `json:"from_decisions"`
+	ToDecisions   int     `json:"to_decisions"`
+}
+
+// exploreMeta is the fixed workload timed by ExploreThroughput: the
+// Fig. 3 algorithm for three processes at a violating quantum, explored
+// with a context-switch deviation budget. The run is deterministic, so
+// sequential and parallel timings cover identical work.
+var exploreMeta = artifact.Meta{Workload: "unicons", N: 3, V: 1, Quantum: 2, MaxSteps: 1 << 16}
+
+const exploreBudget = 4
+
+// ExploreThroughput times a deterministic budget exploration at the
+// given worker count (1 = sequential, 0 = all CPUs) and reports
+// schedules per second.
+func ExploreThroughput(parallelism int) (Throughput, error) {
+	build, err := check.BuilderFor(exploreMeta)
+	if err != nil {
+		return Throughput{}, err
+	}
+	opts := check.Options{Parallelism: parallelism, MaxSchedules: 1 << 22}
+	start := time.Now()
+	res := check.ExploreBudget(build, exploreBudget, opts)
+	secs := time.Since(start).Seconds()
+	if res.Truncated || res.Interrupted {
+		return Throughput{}, fmt.Errorf("bench: exploration did not complete (%d schedules)", res.Schedules)
+	}
+	return Throughput{
+		Workers:   parallelism,
+		Schedules: res.Schedules,
+		Seconds:   secs,
+		PerSec:    float64(res.Schedules) / secs,
+	}, nil
+}
+
+// MeasureShrink finds a deterministic unicons violation and times
+// shrinking it, reporting candidate replays per second. The search and
+// the shrinker are both deterministic, so the work (though not the
+// wall-clock) is identical across runs.
+func MeasureShrink(budget int) (ShrinkThroughput, error) {
+	meta := artifact.Meta{Workload: "unicons", N: 3, V: 1, Quantum: 1, MaxSteps: 1 << 16}
+	var bundle *artifact.Bundle
+	for seed := int64(0); seed < 500; seed++ {
+		b, _, err := artifact.Capture(meta, artifact.Sched{Random: true, Seed: seed})
+		if err != nil {
+			return ShrinkThroughput{}, err
+		}
+		if b.Err != "" {
+			bundle = b
+			break
+		}
+	}
+	if bundle == nil {
+		return ShrinkThroughput{}, fmt.Errorf("bench: no unicons violation in 500 seeds")
+	}
+	if norm, err := artifact.Normalize(bundle); err == nil {
+		bundle = norm
+	}
+	start := time.Now()
+	min, stats, err := minimize.Shrink(bundle, minimize.Options{Budget: budget})
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		return ShrinkThroughput{}, err
+	}
+	return ShrinkThroughput{
+		Workload:      meta.Workload,
+		Candidates:    stats.Tried,
+		Seconds:       secs,
+		PerSec:        float64(stats.Tried) / secs,
+		FromDecisions: stats.FromDecisions,
+		ToDecisions:   len(min.Sched.Decisions),
+	}, nil
+}

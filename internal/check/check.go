@@ -55,6 +55,8 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/minimize"
 	"repro/internal/sim"
 )
 
@@ -125,6 +127,28 @@ type Options struct {
 	// schedule boundaries — an in-flight run completes first (a single
 	// run is bounded by its system's MaxSteps).
 	Context context.Context
+	// CollectDecisions records the canonical decision vector of each
+	// violating run in Violation.Decisions. The tree explorers capture
+	// it for free; Fuzz pays one recording wrapper per run, so the
+	// capture is opt-in. Implied by ArtifactMeta and Minimize.
+	CollectDecisions bool
+	// ArtifactMeta, if non-nil, declares that the Builder constructs
+	// exactly the registered artifact workload this meta describes (use
+	// BuilderFor to guarantee it). After the exploration finishes, each
+	// recorded violation is re-executed from its decision vector and a
+	// repro bundle is attached (Violation.Artifact); a violation whose
+	// replay does not reproduce gets Violation.ForensicsErr instead. A
+	// zero meta WaitFreeBound inherits Options.WaitFreeBound.
+	ArtifactMeta *artifact.Meta
+	// Minimize shrinks each recorded violation's bundle to a minimal
+	// still-failing kernel (internal/minimize) before attaching it.
+	// Requires ArtifactMeta. Shrinking happens after exploration, fanned
+	// over the worker pool, and is bounded per violation by
+	// ShrinkBudget, so exploration throughput is unaffected.
+	Minimize bool
+	// ShrinkBudget caps candidate replays per shrunk violation
+	// (0 = minimize.DefaultBudget).
+	ShrinkBudget int
 }
 
 func (o Options) maxSchedules() int {
@@ -148,6 +172,12 @@ func (o Options) parallelism() int {
 	return o.Parallelism
 }
 
+// needDecisions reports whether Fuzz must pay for a per-run recording
+// wrapper to capture decision vectors.
+func (o Options) needDecisions() bool {
+	return o.CollectDecisions || o.Minimize || o.ArtifactMeta != nil
+}
+
 func (o Options) progressEvery() int64 {
 	if o.ProgressEvery <= 0 {
 		return 1000
@@ -161,6 +191,22 @@ type Violation struct {
 	Schedule string
 	// Err is the verifier's error.
 	Err error
+	// Decisions is the canonical script-mode decision vector of the
+	// violating run (candidate index at each decision point, trailing
+	// zeros trimmed), replayable through sched.Script or an artifact
+	// bundle. Captured by the tree explorers always, by Fuzz when
+	// Options.CollectDecisions (or ArtifactMeta/Minimize) is set, and
+	// never for runs that panicked before completing.
+	Decisions []int
+	// Artifact is the violation's repro bundle (Options.ArtifactMeta),
+	// minimized first when Options.Minimize is set.
+	Artifact *artifact.Bundle
+	// Shrink reports what minimization did (Options.Minimize).
+	Shrink *minimize.Stats
+	// ForensicsErr records why bundle capture or shrinking failed for
+	// this violation (e.g. the builder is not the declared registered
+	// workload); the violation itself is still valid.
+	ForensicsErr error
 }
 
 // Result summarizes an exploration.

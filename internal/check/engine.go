@@ -132,15 +132,17 @@ func (c *collector) count() {
 }
 
 // violation merges one violation into the canonically ordered, capped
-// list and triggers StopAtFirst cancellation.
-func (c *collector) violation(key schedKey, schedule string, err error) {
+// list and triggers StopAtFirst cancellation. decisions, if non-nil, is
+// the run's canonical decision vector (ownership passes to the
+// collector).
+func (c *collector) violation(key schedKey, schedule string, err error, decisions []int) {
 	c.violTotal.Add(1)
 	c.mu.Lock()
 	i := sort.Search(len(c.viols), func(i int) bool { return keyLess(key, c.viols[i].key) })
 	if i < c.maxViol {
 		c.viols = append(c.viols, keyedViolation{})
 		copy(c.viols[i+1:], c.viols[i:])
-		c.viols[i] = keyedViolation{key: key, v: Violation{Schedule: schedule, Err: err}}
+		c.viols[i] = keyedViolation{key: key, v: Violation{Schedule: schedule, Err: err, Decisions: decisions}}
 		if len(c.viols) > c.maxViol {
 			c.viols = c.viols[:c.maxViol]
 		}
@@ -149,6 +151,21 @@ func (c *collector) violation(key schedKey, schedule string, err error) {
 	if c.opts.StopAtFirst {
 		c.stop.Store(true)
 	}
+}
+
+// canonDecisions copies a taken decision vector into canonical script
+// form: trailing zeros are trimmed, since past the script's end a replay
+// picks candidate 0 anyway. The result is never nil — an all-zeros run
+// canonicalizes to the empty (but present) vector, distinguishing it
+// from a run whose decisions could not be captured.
+func canonDecisions(taken []int) []int {
+	n := len(taken)
+	for n > 0 && taken[n-1] == 0 {
+		n--
+	}
+	out := make([]int, n)
+	copy(out, taken[:n])
+	return out
 }
 
 // outcome runs the builder's verifier and the collector-level property
@@ -219,6 +236,7 @@ func (c *collector) result() *Result {
 	for _, kv := range viols {
 		res.Violations = append(res.Violations, kv.v)
 	}
+	c.forensics(res)
 	return res
 }
 
@@ -356,7 +374,11 @@ func exploreAllItem(build Builder, c *collector, q *workQueue[[]int], prefix []i
 		for i, d := range prefix {
 			key[i] = int64(d)
 		}
-		c.violation(key, schedule, verr)
+		var dec []int
+		if !panicked {
+			dec = canonDecisions(prefix)
+		}
+		c.violation(key, schedule, verr, dec)
 	}
 	c.count()
 	// After a panic the script's fan-out record is unreliable, so the
@@ -445,7 +467,11 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], it
 		for _, sw := range item.switches {
 			key = append(key, sw.d, int64(sw.choice))
 		}
-		c.violation(key, schedule, verr)
+		var dec []int
+		if !panicked {
+			dec = canonDecisions(ch.Taken)
+		}
+		c.violation(key, schedule, verr, dec)
 	}
 	c.count()
 	// See exploreAllItem: no descent below a panicked schedule.
@@ -493,13 +519,23 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 					return
 				}
 				schedule := fmt.Sprintf("seed=%d", seed)
-				verr, _ := protectedRun(schedule, func() error {
-					sys, verify := build(sched.NewRandom(seed))
+				var rec *sched.Record
+				var ch sim.Chooser = sched.NewRandom(seed)
+				if c.opts.needDecisions() {
+					rec = sched.NewRecord(ch)
+					ch = rec
+				}
+				verr, panicked := protectedRun(schedule, func() error {
+					sys, verify := build(ch)
 					runErr := sys.Run()
 					return c.outcome(sys, verify, runErr)
 				})
 				if verr != nil {
-					c.violation(schedKey{seed}, schedule, verr)
+					var dec []int
+					if rec != nil && !panicked {
+						dec = canonDecisions(rec.Taken)
+					}
+					c.violation(schedKey{seed}, schedule, verr, dec)
 				}
 				c.count()
 			}

@@ -1,0 +1,99 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/minimize"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// BuilderFor adapts a registered artifact workload to a check.Builder,
+// the glue between exploration and forensics: exploring with the
+// returned builder while passing the same meta as Options.ArtifactMeta
+// guarantees every recorded violation replays — and shrinks — through
+// internal/artifact exactly as it was found. The returned builder is
+// reentrant (all run state is created per call), so any Parallelism is
+// safe.
+func BuilderFor(meta artifact.Meta) (Builder, error) {
+	if !artifact.Known(meta.Workload) {
+		return nil, fmt.Errorf("check: unknown workload %q (have %v)", meta.Workload, artifact.Workloads())
+	}
+	return func(ch sim.Chooser) (*sim.System, Verify) {
+		if len(meta.Crashes) > 0 {
+			ch = sched.NewCrash(ch, meta.Crashes...)
+		}
+		sys, verify, err := artifact.Build(meta, ch, nil)
+		if err != nil {
+			// Unreachable: the workload was validated above.
+			panic(err)
+		}
+		return sys, Verify(verify)
+	}, nil
+}
+
+// forensics is the post-exploration pass over the final violation list:
+// each violation's decision vector is re-executed through
+// internal/artifact and the resulting repro bundle attached, minimized
+// first when Options.Minimize is set. The pass runs after the merge on
+// the already-canonical list and each violation is processed
+// independently with a deterministic shrinker, so the outcome is
+// byte-identical regardless of Parallelism or worker timing; the fan-out
+// only changes wall-clock time.
+func (c *collector) forensics(res *Result) {
+	if c.opts.ArtifactMeta == nil || len(res.Violations) == 0 {
+		return
+	}
+	meta := *c.opts.ArtifactMeta
+	if meta.WaitFreeBound == 0 {
+		meta.WaitFreeBound = c.opts.WaitFreeBound
+	}
+
+	sem := make(chan struct{}, c.opts.parallelism())
+	var wg sync.WaitGroup
+	for i := range res.Violations {
+		v := &res.Violations[i]
+		if v.Decisions == nil {
+			// The run panicked (no reliable decision vector) or a
+			// non-recording path produced it; nothing to replay.
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			c.forensicsOne(meta, v)
+		}()
+	}
+	wg.Wait()
+}
+
+// forensicsOne captures (and optionally minimizes) one violation's repro
+// bundle. The bundle always comes from a fresh execution; a replay that
+// no longer fails means the builder is not the workload ArtifactMeta
+// declared, which is reported on the violation rather than attaching a
+// bundle that lies.
+func (c *collector) forensicsOne(meta artifact.Meta, v *Violation) {
+	b, rep, err := artifact.Capture(meta, artifact.Sched{Decisions: v.Decisions})
+	if err != nil {
+		v.ForensicsErr = err
+		return
+	}
+	if rep.Err == nil {
+		v.ForensicsErr = fmt.Errorf("check: artifact replay of decisions %v passed; builder is not the declared %q workload",
+			v.Decisions, meta.Workload)
+		return
+	}
+	v.Artifact = b
+	if !c.opts.Minimize {
+		return
+	}
+	min, stats, err := minimize.Shrink(b, minimize.Options{Budget: c.opts.ShrinkBudget})
+	if err != nil {
+		v.ForensicsErr = err
+		return
+	}
+	v.Artifact, v.Shrink = min, stats
+}

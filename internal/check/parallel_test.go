@@ -1,11 +1,14 @@
 package check_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/check"
 	"repro/internal/hybridcas"
 	"repro/internal/mem"
@@ -47,12 +50,27 @@ func fig3Builder(n, q int) check.Builder {
 }
 
 // renderResult serializes every observable field of a Result, including
-// violation schedules and error texts, for byte-identical comparison.
+// violation schedules, error texts, decision vectors, and attached
+// forensics (artifact JSON, shrink stats), for byte-identical
+// comparison.
 func renderResult(res *check.Result) string {
 	s := fmt.Sprintf("schedules=%d truncated=%v total=%d aliased=%d\n",
 		res.Schedules, res.Truncated, res.ViolationsTotal, res.Aliased)
 	for _, v := range res.Violations {
-		s += fmt.Sprintf("%s: %v\n", v.Schedule, v.Err)
+		s += fmt.Sprintf("%s: %v decisions=%v\n", v.Schedule, v.Err, v.Decisions)
+		if v.Artifact != nil {
+			aj, err := json.Marshal(v.Artifact)
+			if err != nil {
+				panic(err)
+			}
+			s += fmt.Sprintf("  artifact=%s\n", aj)
+		}
+		if v.Shrink != nil {
+			s += fmt.Sprintf("  shrink=%s\n", v.Shrink)
+		}
+		if v.ForensicsErr != nil {
+			s += fmt.Sprintf("  forensics-err=%v\n", v.ForensicsErr)
+		}
 	}
 	return s
 }
@@ -94,6 +112,108 @@ func TestParallelMatchesSequential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelMinimizeCanonicalOrder extends the determinism guarantee
+// to the forensics pass: with Options.Minimize on and Parallelism > 1,
+// Result.Violations order, Result.First(), the captured decision
+// vectors, the attached (minimized) artifact bundles, and the shrink
+// stats must all be byte-identical to the sequential run — the shrinker
+// is deterministic per violation and runs on the already-merged
+// canonical list, so worker timing must not leak into the output.
+func TestParallelMinimizeCanonicalOrder(t *testing.T) {
+	// Per-strategy configurations with known violations that each
+	// exploration completes (an incomplete exploration's schedule set is
+	// timing-dependent by design and would invalidate the comparison).
+	small := artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 3, MaxSteps: 1 << 16}
+	wide := artifact.Meta{Workload: "unicons", N: 3, V: 1, Quantum: 2, MaxSteps: 1 << 16}
+	for _, tc := range []struct {
+		name string
+		meta artifact.Meta
+		run  func(b check.Builder, opts check.Options) *check.Result
+	}{
+		{"ExploreAll", small, func(b check.Builder, o check.Options) *check.Result {
+			return check.ExploreAll(b, o)
+		}},
+		{"ExploreBudget", wide, func(b check.Builder, o check.Options) *check.Result {
+			o.MaxSchedules = 1000000
+			return check.ExploreBudget(b, 3, o)
+		}},
+		{"Fuzz", wide, func(b check.Builder, o check.Options) *check.Result {
+			return check.Fuzz(b, 400, o)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			meta := tc.meta
+			build, err := check.BuilderFor(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := func(par int) check.Options {
+				return check.Options{Parallelism: par, ArtifactMeta: &meta,
+					Minimize: true, MaxViolations: 4}
+			}
+			run := func(o check.Options) *check.Result { return tc.run(build, o) }
+			seqRes := run(opts(1))
+			if seqRes.OK() {
+				t.Fatal("no violations below the quantum bound; the test exercises nothing")
+			}
+			if seqRes.Truncated || seqRes.Interrupted {
+				t.Fatalf("exploration incomplete (truncated=%v interrupted=%v); comparison invalid",
+					seqRes.Truncated, seqRes.Interrupted)
+			}
+			first := seqRes.First()
+			if first.Artifact == nil {
+				t.Fatalf("violation carries no artifact: %+v", first)
+			}
+			if first.Shrink == nil {
+				t.Fatal("violation carries no shrink stats")
+			}
+			if first.ForensicsErr != nil {
+				t.Fatalf("forensics failed: %v", first.ForensicsErr)
+			}
+			// The attached bundle must itself reproduce a violation.
+			rep, err := artifact.Replay(first.Artifact, artifact.ReplayOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Err == nil || rep.Err.Error() != first.Artifact.Err {
+				t.Fatalf("attached bundle does not reproduce: recorded %q, replayed %v",
+					first.Artifact.Err, rep.Err)
+			}
+			seq := renderResult(seqRes)
+			for _, par := range []int{2, 8} {
+				got := renderResult(run(opts(par)))
+				if got != seq {
+					t.Fatalf("parallelism %d diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", par, seq, got)
+				}
+			}
+		})
+	}
+}
+
+// TestForensicsRejectsForeignBuilder: a builder that is NOT the
+// workload ArtifactMeta declares must yield ForensicsErr, never an
+// artifact bundle that does not reproduce the violation.
+func TestForensicsRejectsForeignBuilder(t *testing.T) {
+	meta := artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 8, MaxSteps: 1 << 16}
+	build := func(ch sim.Chooser) (*sim.System, check.Verify) {
+		sys := sim.New(sim.Config{Processors: 1, Quantum: 8, Chooser: ch, MaxSteps: 1 << 16})
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+			AddInvocation(func(c *sim.Ctx) { c.Local(2) })
+		return sys, func(error) error { return errors.New("always fails") }
+	}
+	res := check.ExploreAll(build, check.Options{Parallelism: 1, ArtifactMeta: &meta})
+	if res.OK() {
+		t.Fatal("no violation recorded")
+	}
+	v := res.First()
+	if v.Artifact != nil {
+		t.Fatalf("non-reproducing artifact attached: %+v", v.Artifact)
+	}
+	if v.ForensicsErr == nil || !strings.Contains(v.ForensicsErr.Error(), "not the declared") {
+		t.Fatalf("ForensicsErr = %v, want declared-workload mismatch", v.ForensicsErr)
 	}
 }
 

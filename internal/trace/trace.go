@@ -14,10 +14,14 @@ import (
 )
 
 // Recorder implements sim.Observer, buffering events for rendering.
+// Events past the limit are counted, not stored: Dropped reports how
+// many, and Render appends a truncation marker so a cut-off timeline
+// cannot masquerade as a complete run.
 type Recorder struct {
-	stmts  []sim.StmtEvent
-	scheds []sim.SchedEvent
-	limit  int
+	stmts   []sim.StmtEvent
+	scheds  []sim.SchedEvent
+	limit   int
+	dropped int
 }
 
 var _ sim.Observer = (*Recorder)(nil)
@@ -35,6 +39,8 @@ func NewRecorder(limit int) *Recorder {
 func (r *Recorder) OnStatement(ev sim.StmtEvent) {
 	if len(r.stmts) < r.limit {
 		r.stmts = append(r.stmts, ev)
+	} else {
+		r.dropped++
 	}
 }
 
@@ -42,8 +48,15 @@ func (r *Recorder) OnStatement(ev sim.StmtEvent) {
 func (r *Recorder) OnSchedule(ev sim.SchedEvent) {
 	if len(r.scheds) < r.limit {
 		r.scheds = append(r.scheds, ev)
+	} else {
+		r.dropped++
 	}
 }
+
+// Dropped returns the number of events (statement and scheduling) that
+// arrived after the buffer limit and were discarded. A non-zero count
+// means the recorded timeline is a prefix of the run, not the whole run.
+func (r *Recorder) Dropped() int { return r.dropped }
 
 // Statements returns the recorded statement events.
 func (r *Recorder) Statements() []sim.StmtEvent { return r.stmts }
@@ -75,9 +88,15 @@ type RenderOptions struct {
 // '[' marks an invocation's first statement, ']' its last, '=' (or the
 // op mnemonic) statements in between, '*' a single-statement invocation,
 // and '!' the first statement after suffering a same-priority
-// preemption.
+// preemption. A recorder that dropped events past its buffer limit
+// renders a trailing truncation marker — an incomplete forensics
+// timeline always says so.
 func (r *Recorder) Render(opts RenderOptions) string {
 	if len(r.stmts) == 0 {
+		if r.dropped > 0 {
+			return fmt.Sprintf("(no statements recorded; %d events dropped past the %d-event buffer limit)\n",
+				r.dropped, r.limit)
+		}
 		return "(no statements recorded)\n"
 	}
 	width := int(r.stmts[len(r.stmts)-1].Step) + 1
@@ -150,6 +169,10 @@ func (r *Recorder) Render(opts RenderOptions) string {
 		for _, p := range procs {
 			fmt.Fprintf(&b, "%-*s  %s\n", nameW, p.Name(), string(rows[p][off:end]))
 		}
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "\n... TRUNCATED: %d further events dropped past the %d-event buffer limit; the timeline above is a prefix of the run\n",
+			r.dropped, r.limit)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -91,6 +92,53 @@ func TestRecorderLimit(t *testing.T) {
 	}
 	if len(rec.Schedules()) == 0 {
 		t.Fatal("no scheduling events recorded")
+	}
+}
+
+// TestRecorderTruncationMarker: a recorder that dropped events must say
+// so — Dropped() counts them and Render appends a marker, so a cut-off
+// forensics timeline cannot masquerade as a complete run.
+func TestRecorderTruncationMarker(t *testing.T) {
+	rec := trace.NewRecorder(5)
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 2, Observer: rec})
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: "p"}).
+		AddInvocation(func(c *sim.Ctx) { c.Local(20) })
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("20-statement run with limit 5 reported Dropped() == 0")
+	}
+	out := rec.Render(trace.RenderOptions{})
+	if !strings.Contains(out, "TRUNCATED") {
+		t.Fatalf("render of a truncated recorder has no TRUNCATED marker:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("%d further events", rec.Dropped())) {
+		t.Fatalf("marker does not report the dropped count %d:\n%s", rec.Dropped(), out)
+	}
+}
+
+// TestRecorderNoMarkerWhenComplete: a recorder that kept every event
+// renders no truncation marker and reports zero drops.
+func TestRecorderNoMarkerWhenComplete(t *testing.T) {
+	rec := runTraced(t, sched.NewRotate())
+	if n := rec.Dropped(); n != 0 {
+		t.Fatalf("complete run reported %d dropped events", n)
+	}
+	if out := rec.Render(trace.RenderOptions{}); strings.Contains(out, "TRUNCATED") {
+		t.Fatalf("complete run rendered a truncation marker:\n%s", out)
+	}
+}
+
+// TestRecorderEmptyTruncated: even a recorder whose buffer was too small
+// to keep any statements reports the drop count in its render.
+func TestRecorderEmptyTruncated(t *testing.T) {
+	rec := trace.NewRecorder(1)
+	rec.OnSchedule(sim.SchedEvent{})
+	rec.OnSchedule(sim.SchedEvent{})
+	out := rec.Render(trace.RenderOptions{})
+	if !strings.Contains(out, "no statements recorded") || !strings.Contains(out, "dropped") {
+		t.Fatalf("empty truncated render = %q", out)
 	}
 }
 

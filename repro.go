@@ -23,15 +23,19 @@
 //     schedule exploration (Explore*, Fuzz), trace rendering in the
 //     style of the paper's Fig. 1-2 (NewTraceRecorder), and the
 //     experiment harness regenerating Table 1 and the complexity claims
-//     (Table1Sweep, Fig3Scaling, ...). See EXPERIMENTS.md.
+//     (Table1Sweep, Fig3Scaling, ...). See EXPERIMENTS.md. Violations
+//     become replayable repro bundles that shrink to minimal
+//     still-failing kernels (LoadArtifact, ReplayArtifact, Shrink).
 //
 // All shared-memory values are single words (Word); ⊥ is Bottom.
 package repro
 
 import (
+	"repro/internal/artifact"
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/check"
+	"repro/internal/minimize"
 	"repro/internal/hybridcas"
 	"repro/internal/mem"
 	"repro/internal/multicons"
@@ -317,6 +321,52 @@ func ExploreBudget(build Builder, budget int, opts ExploreOptions) *ExploreResul
 func Fuzz(build Builder, seeds int, opts ExploreOptions) *ExploreResult {
 	return check.Fuzz(build, seeds, opts)
 }
+
+// Counterexample forensics (see DESIGN.md §8 and README "Debugging a
+// violation"): violations become versioned JSON repro bundles that
+// replay deterministically and shrink to minimal still-failing kernels.
+
+type (
+	// Artifact is a replayable repro bundle: a registered workload name,
+	// its scalar config and crash plan, the schedule (explicit decision
+	// vector or seeds), and the recorded error and timeline.
+	Artifact = artifact.Bundle
+	// ArtifactMeta names a registered workload plus its configuration.
+	ArtifactMeta = artifact.Meta
+	// ArtifactSched is a bundle's schedule: script or random mode.
+	ArtifactSched = artifact.Sched
+	// ReplayOptions controls a bundle replay.
+	ReplayOptions = artifact.ReplayOptions
+	// ReplayReport is the outcome of a fresh bundle replay.
+	ReplayReport = artifact.Report
+	// ShrinkOptions bounds minimization and pins the failure kind.
+	ShrinkOptions = minimize.Options
+	// ShrinkStats summarizes a minimization run.
+	ShrinkStats = minimize.Stats
+)
+
+// LoadArtifact reads a repro bundle from disk (rejecting unknown
+// versions and workloads).
+func LoadArtifact(path string) (*Artifact, error) { return artifact.Load(path) }
+
+// ReplayArtifact deterministically re-executes a bundle from scratch
+// and reports the fresh outcome; recorded error/trace are never trusted.
+func ReplayArtifact(b *Artifact, opts ReplayOptions) (*ReplayReport, error) {
+	return artifact.Replay(b, opts)
+}
+
+// Shrink minimizes a still-failing bundle (ddmin chunk removal,
+// per-decision lowering, crash-point removal, quantum/level lowering);
+// every accepted candidate is re-verified by a fresh replay.
+func Shrink(b *Artifact, opts ShrinkOptions) (*Artifact, *ShrinkStats, error) {
+	return minimize.Shrink(b, opts)
+}
+
+// ArtifactBuilder returns the registered builder for meta, for use with
+// the explorers; pair it with ExploreOptions.ArtifactMeta (and
+// .Minimize) so every recorded violation carries a replayable — and
+// optionally pre-shrunk — bundle.
+func ArtifactBuilder(meta ArtifactMeta) (Builder, error) { return check.BuilderFor(meta) }
 
 // Tracing.
 

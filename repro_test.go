@@ -187,3 +187,45 @@ func ExampleExploreBudget() {
 	fmt.Println(res.OK())
 	// Output: false
 }
+
+// TestForensicsFacade drives the counterexample-forensics exports over
+// the committed LockCounter repro bundle: load, fresh replay, shrink,
+// and engine integration via ArtifactBuilder + ExploreOptions.
+func TestForensicsFacade(t *testing.T) {
+	b, err := repro.LoadArtifact("internal/artifact/testdata/lockcounter.json")
+	if err != nil {
+		t.Fatalf("LoadArtifact: %v", err)
+	}
+	rep, err := repro.ReplayArtifact(b, repro.ReplayOptions{Trace: true})
+	if err != nil {
+		t.Fatalf("ReplayArtifact: %v", err)
+	}
+	if rep.Err == nil {
+		t.Fatal("committed bundle replayed clean; it must reproduce its violation")
+	}
+	min, stats, err := repro.Shrink(b, repro.ShrinkOptions{})
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if len(min.Sched.Decisions) > len(b.Sched.Decisions) || stats.Tried == 0 {
+		t.Fatalf("shrink grew the bundle: %d -> %d decisions (%s)",
+			len(b.Sched.Decisions), len(min.Sched.Decisions), stats)
+	}
+
+	build, err := repro.ArtifactBuilder(b.Meta)
+	if err != nil {
+		t.Fatalf("ArtifactBuilder: %v", err)
+	}
+	meta := b.Meta
+	res := repro.Fuzz(build, 200, repro.ExploreOptions{
+		ArtifactMeta: &meta, Minimize: true, StopAtFirst: true, Parallelism: 1,
+		WaitFreeBound: meta.WaitFreeBound,
+	})
+	if res.OK() {
+		t.Fatal("LockCounter fuzz found no wait-freedom violation in 200 seeds")
+	}
+	v := res.First()
+	if v.Artifact == nil || v.ForensicsErr != nil {
+		t.Fatalf("violation missing artifact (forensics err: %v)", v.ForensicsErr)
+	}
+}
