@@ -2,15 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-json examples experiments soak clean
+.PHONY: all build vet lint test test-short test-race bench bench-json examples experiments soak clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the repo's own reprolint suite, which
+# machine-checks the atomic-statement model (atomicaccess, ctxescape,
+# simonly, exhaustive) and the artifact replay-determinism contract
+# (determinism), including //repro:allow marker validation. The repo
+# must lint clean; see DESIGN.md §9.
+lint: vet
+	$(GO) run ./cmd/reprolint ./...
 
 test:
 	$(GO) test ./...

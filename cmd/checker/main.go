@@ -30,24 +30,24 @@ import (
 
 func main() {
 	var (
-		alg         = flag.String("alg", "fig3", "algorithm: fig3|fig7")
-		n           = flag.Int("n", 2, "processes (fig3)")
-		v           = flag.Int("v", 1, "priority levels")
-		p           = flag.Int("p", 2, "processors (fig7)")
-		k           = flag.Int("k", 0, "C = P+K (fig7)")
-		m           = flag.Int("m", 1, "processes per processor (fig7)")
-		q           = flag.Int("q", 8, "scheduling quantum")
-		mode        = flag.String("mode", "budget", "exploration: all|budget|fuzz")
-		budget      = flag.Int("budget", 3, "context-switch deviation budget")
-		seeds       = flag.Int("seeds", 500, "fuzz seeds")
-		maxSch      = flag.Int("max", 200000, "schedule cap")
-		parallel    = flag.Int("parallel", 0, "exploration workers (0 = all CPUs, 1 = sequential)")
-		progress    = flag.Bool("progress", false, "report live schedules/sec and violation count on stderr")
-		timeout     = flag.Duration("timeout", 0, "wall-clock bound; on expiry the exploration stops at a schedule boundary with partial results (0 = none)")
-		wfBound     = flag.Int64("waitfree-bound", 0, "fail any run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
-		artDir      = flag.String("artifact-dir", "", "write a replayable repro bundle per violation into this directory")
-		minimizeF   = flag.Bool("minimize", false, "shrink each violation to a minimal still-failing schedule before reporting")
-		shrinkBudg  = flag.Int("shrink-budget", 0, "candidate replays per shrunk violation (0 = internal/minimize default)")
+		alg        = flag.String("alg", "fig3", "algorithm: fig3|fig7")
+		n          = flag.Int("n", 2, "processes (fig3)")
+		v          = flag.Int("v", 1, "priority levels")
+		p          = flag.Int("p", 2, "processors (fig7)")
+		k          = flag.Int("k", 0, "C = P+K (fig7)")
+		m          = flag.Int("m", 1, "processes per processor (fig7)")
+		q          = flag.Int("q", 8, "scheduling quantum")
+		mode       = flag.String("mode", "budget", "exploration: all|budget|fuzz")
+		budget     = flag.Int("budget", 3, "context-switch deviation budget")
+		seeds      = flag.Int("seeds", 500, "fuzz seeds")
+		maxSch     = flag.Int("max", 200000, "schedule cap")
+		parallel   = flag.Int("parallel", 0, "exploration workers (0 = all CPUs, 1 = sequential)")
+		progress   = flag.Bool("progress", false, "report live schedules/sec and violation count on stderr")
+		timeout    = flag.Duration("timeout", 0, "wall-clock bound; on expiry the exploration stops at a schedule boundary with partial results (0 = none)")
+		wfBound    = flag.Int64("waitfree-bound", 0, "fail any run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
+		artDir     = flag.String("artifact-dir", "", "write a replayable repro bundle per violation into this directory")
+		minimizeF  = flag.Bool("minimize", false, "shrink each violation to a minimal still-failing schedule before reporting")
+		shrinkBudg = flag.Int("shrink-budget", 0, "candidate replays per shrunk violation (0 = internal/minimize default)")
 	)
 	flag.Parse()
 

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoLintsClean is the dogfood gate: the repo itself must produce
+// zero findings, with every //repro:allow marker load-bearing. Because
+// marker suppression is the only way a marker counts as used, this
+// single assertion also proves that removing any marker (or the finding
+// it covers) fails the lint.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	diags, err := run(true)
+	if err != nil {
+		t.Fatalf("reprolint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression marker. The grammar is
+//
+//	//repro:allow <key> <reason...>
+//
+// where <key> names the discipline being waived (e.g. post-run,
+// walltime, goroutine, maporder, rand, ctxescape, exhaustive) and
+// <reason> is free text justifying the waiver. A marker suppresses
+// diagnostics on its own line or, for a marker alone on its line, on
+// the line below. Markers must be load-bearing: the driver fails on any
+// marker that suppresses no diagnostic, so annotations cannot rot.
+const allowPrefix = "//repro:allow"
+
+// A Marker is one parsed //repro:allow comment.
+type Marker struct {
+	Pos    token.Position
+	Key    string
+	Reason string
+	// Standalone reports the marker occupies its own line (so it covers
+	// the line below rather than its own).
+	Standalone bool
+	// Used is set when the marker suppresses at least one diagnostic.
+	Used bool
+}
+
+// collectMarkers parses every //repro:allow marker in files.
+func collectMarkers(fset *token.FileSet, files []*ast.File) []*Marker {
+	var ms []*Marker
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				pos := fset.Position(c.Pos())
+				m := &Marker{Pos: pos, Standalone: onOwnLine(fset, f, c)}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					m.Key = fields[0]
+					m.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				ms = append(ms, m)
+			}
+		}
+	}
+	return ms
+}
+
+// onOwnLine reports whether comment c is the only thing on its source
+// line (i.e. no code shares the line), making it cover the next line.
+func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	own := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !own {
+			return false
+		}
+		// Any non-comment node starting or ending on the marker's line
+		// means code shares the line.
+		switch n.(type) {
+		case *ast.File, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if fset.Position(n.Pos()).Line == line || fset.Position(n.End()).Line == line {
+			own = false
+			return false
+		}
+		return true
+	})
+	return own
+}
+
+// markerFor returns a marker covering pos whose key is in keys, or nil.
+func (pkg *Package) markerFor(pos token.Position, keys []string) *Marker {
+	for _, m := range pkg.Markers {
+		if m.Pos.Filename != pos.Filename || m.Reason == "" {
+			continue
+		}
+		covers := m.Pos.Line == pos.Line || (m.Standalone && m.Pos.Line == pos.Line-1)
+		if !covers {
+			continue
+		}
+		for _, k := range keys {
+			if m.Key == k {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// ValidKeys is the set of marker keys any analyzer honors. Markers with
+// other keys are reported as malformed.
+func ValidKeys() map[string]bool {
+	keys := map[string]bool{}
+	for _, a := range Analyzers() {
+		for _, k := range a.AllowKeys {
+			keys[k] = true
+		}
+	}
+	return keys
+}
+
+// MarkerProblems validates pkg's markers after every analyzer has run:
+// a marker with an empty reason, an unknown key, or that suppressed no
+// diagnostic (stale) is itself a diagnostic — the allow grammar is
+// machine-checked and annotations cannot rot.
+func MarkerProblems(pkg *Package) []Diagnostic {
+	valid := ValidKeys()
+	var out []Diagnostic
+	for _, m := range pkg.Markers {
+		switch {
+		case m.Key == "" || m.Reason == "":
+			out = append(out, Diagnostic{Pos: m.Pos, Analyzer: "allowmarker",
+				Message: "malformed //repro:allow marker: want //repro:allow <key> <reason>"})
+		case !valid[m.Key]:
+			out = append(out, Diagnostic{Pos: m.Pos, Analyzer: "allowmarker",
+				Message: "unknown //repro:allow key " + m.Key})
+		case !m.Used:
+			out = append(out, Diagnostic{Pos: m.Pos, Analyzer: "allowmarker",
+				Message: "stale //repro:allow " + m.Key + " marker suppresses no finding; delete it"})
+		}
+	}
+	return out
+}

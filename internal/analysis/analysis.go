@@ -1,0 +1,163 @@
+// Package analysis is reprolint's static-analysis framework: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis (which is
+// deliberately not vendored — the repo builds offline with the standard
+// library only). It loads and type-checks packages of this module from
+// source, runs Analyzer passes over them, and applies the
+// `//repro:allow` suppression-marker discipline.
+//
+// The analyzers in this package turn the repo's two core conventions
+// into machine-checked invariants:
+//
+//   - the *atomic-statement model*: every shared access in algorithm
+//     code goes through sim.Ctx, charging exactly one statement, so the
+//     paper's Q ≥ 8 / Q ≥ c quantum bounds and the WaitFreeBound
+//     property remain sound (atomicaccess, ctxescape, simonly,
+//     exhaustive);
+//   - the *replay-determinism contract*: the forensics packages
+//     (check, artifact, minimize, trace) produce byte-identical output
+//     for identical inputs, so saved repro bundles replay faithfully
+//     (determinism).
+//
+// See DESIGN.md §9 for the normative statement of both disciplines.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one reprolint pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// AllowKeys lists the `//repro:allow <key> <reason>` marker keys
+	// that suppress this analyzer's diagnostics. Empty means the
+	// analyzer is strict: nothing suppresses it.
+	AllowKeys []string
+	// SkipTests excludes _test.go files from the pass. Analyzers whose
+	// invariant concerns shipped algorithm/engine code (not post-run
+	// test verification) set this.
+	SkipTests bool
+	// AppliesTo reports whether the pass runs over the package with the
+	// given import path. nil means every package. The driver consults
+	// this; analysistest bypasses it so fixtures can live anywhere.
+	AppliesTo func(pkgPath string) bool
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees, already filtered per
+	// Analyzer.SkipTests.
+	Files []*ast.File
+	// Pkg and Info are the type-checker's results for the package
+	// (including any in-package test files, regardless of SkipTests —
+	// type information is whole-package).
+	Pkg  *types.Package
+	Info *types.Info
+	// IsTest reports whether a file is a _test.go file.
+	IsTest func(*ast.File) bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run executes a on pkg, applying SkipTests filtering and
+// `//repro:allow` suppression. Suppressed diagnostics mark their marker
+// as load-bearing (Marker.Used); the driver later reports any marker
+// that suppressed nothing.
+func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	files := pkg.Files
+	if a.SkipTests {
+		files = nil
+		for _, f := range pkg.Files {
+			if !pkg.TestFiles[f] {
+				files = append(files, f)
+			}
+		}
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		IsTest:   func(f *ast.File) bool { return pkg.TestFiles[f] },
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if m := pkg.markerFor(d.Pos, a.AllowKeys); m != nil {
+			m.Used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return lessPos(kept[i].Pos, kept[j].Pos) })
+	return kept, nil
+}
+
+func lessPos(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// Analyzers returns every reprolint pass, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AtomicAccess,
+		CtxEscape,
+		Determinism,
+		SimOnly,
+		Exhaustive,
+	}
+}
+
+// pathIn reports whether pkgPath is one of paths.
+func pathIn(pkgPath string, paths ...string) bool {
+	// An external test package shares its base package's discipline.
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	for _, p := range paths {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

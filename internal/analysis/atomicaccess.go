@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// memPath is the package whose raw accessors bypass statement
+// accounting; simPath is the only package allowed to call them (it owns
+// the statement baton).
+const (
+	memPath = "repro/internal/mem"
+	simPath = "repro/internal/sim"
+)
+
+// rawAccessors are the mem methods that read or write shared state
+// without charging an atomic statement. Everything an algorithm does to
+// shared memory must instead go through sim.Ctx (Read/Write/CCons/
+// CASPrim/LoadPrim), which serializes the access under the baton and
+// charges exactly one statement — the unit all of the paper's quantum
+// bounds (Theorems 1–4, Table 1) count. Name/C and the constructors are
+// metadata, not shared state, and stay unflagged.
+var rawAccessors = map[string]map[string]bool{
+	"Reg":        {"Load": true, "Store": true},
+	"ConsObject": {"Invoke": true, "Invocations": true, "Decided": true},
+	"CASObject":  {"Load": true, "CompareAndSwap": true},
+}
+
+// AtomicAccess flags raw mem accessor use (and direct field access on
+// mem types) outside the mem and sim packages. Legitimate post-run
+// inspection — verify phases, trace rendering, Peek-style helpers —
+// carries an explicit `//repro:allow post-run <reason>` marker instead.
+// Test files are exempt: by construction they inspect state only after
+// Run returns, and their in-run bodies execute under a Ctx the Auditor
+// already polices dynamically.
+var AtomicAccess = &Analyzer{
+	Name:      "atomicaccess",
+	Doc:       "raw mem accessors bypass sim.Ctx statement accounting; every shared access in algorithm code must charge exactly one atomic statement",
+	AllowKeys: []string{"post-run"},
+	SkipTests: true,
+	AppliesTo: func(pkgPath string) bool { return !pathIn(pkgPath, memPath, simPath) },
+	Run:       runAtomicAccess,
+}
+
+func runAtomicAccess(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil {
+				return true
+			}
+			obj := s.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != memPath {
+				return true
+			}
+			switch s.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				recv := typeName(s.Recv())
+				if rawAccessors[recv][obj.Name()] {
+					pass.Reportf(sel.Sel.Pos(),
+						"raw mem.%s.%s bypasses sim.Ctx statement accounting; route the access through a Ctx or annotate //repro:allow post-run <reason>",
+						recv, obj.Name())
+				}
+			case types.FieldVal:
+				pass.Reportf(sel.Sel.Pos(),
+					"direct field access %s.%s on a mem type outside mem/sim; shared state must be reached through sim.Ctx",
+					typeName(s.Recv()), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// typeName returns the bare name of t's named type, dereferencing one
+// pointer level.
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxEscape flags a *sim.Ctx that escapes the invocation body it was
+// handed to: stored into a struct field, global, map/slice element, or
+// channel; returned from a function; or captured by a closure that
+// itself escapes. The Ctx is the statement baton — it is valid only
+// while the kernel has granted its process the next atomic statement,
+// so any copy that outlives the invocation lets code execute "atomic"
+// statements outside the schedule, silently corrupting the statement
+// accounting every theorem bound depends on. The sim package itself
+// (which mints and retires batons) is exempt.
+var CtxEscape = &Analyzer{
+	Name:      "ctxescape",
+	Doc:       "the *sim.Ctx statement baton must not outlive the invocation body it was passed to",
+	AllowKeys: []string{"ctxescape"},
+	AppliesTo: func(pkgPath string) bool { return !pathIn(pkgPath, simPath) },
+	Run:       runCtxEscape,
+}
+
+func runCtxEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) != len(n.Rhs) {
+						break // multi-value call; checked via return sites
+					}
+					if !isCtx(pass, rhs) {
+						continue
+					}
+					switch lhs := n.Lhs[i].(type) {
+					case *ast.SelectorExpr:
+						if s := pass.Info.Selections[lhs]; s != nil && s.Kind() == types.FieldVal {
+							pass.Reportf(n.Pos(), "*sim.Ctx stored into struct field %s; the statement baton must not outlive its invocation", lhs.Sel.Name)
+						}
+					case *ast.IndexExpr:
+						pass.Reportf(n.Pos(), "*sim.Ctx stored into a container element; the statement baton must not outlive its invocation")
+					case *ast.Ident:
+						if obj := pass.Info.Uses[lhs]; obj != nil && isGlobalVar(obj) {
+							pass.Reportf(n.Pos(), "*sim.Ctx stored into package-level variable %s; the statement baton must not outlive its invocation", lhs.Name)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if isCtx(pass, v) {
+						for _, name := range n.Names {
+							if obj := pass.Info.Defs[name]; obj != nil && isGlobalVar(obj) {
+								pass.Reportf(n.Pos(), "*sim.Ctx stored into package-level variable %s; the statement baton must not outlive its invocation", name.Name)
+							}
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if isCtx(pass, n.Value) {
+					pass.Reportf(n.Pos(), "*sim.Ctx sent on a channel; the statement baton must not outlive its invocation")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isCtx(pass, v) {
+						pass.Reportf(v.Pos(), "*sim.Ctx stored into a composite literal; the statement baton must not outlive its invocation")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if isCtx(pass, r) {
+						pass.Reportf(r.Pos(), "*sim.Ctx returned from a function; pass the baton down the call stack only")
+					}
+				}
+			case *ast.FuncLit:
+				checkCtxCapture(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxCapture flags lit when it captures a Ctx declared outside
+// itself and the closure escapes — it is stored, sent, returned, or
+// launched as a goroutine rather than invoked (or deferred) in place.
+// Calling a ctx-capturing helper immediately stays within the
+// invocation and is fine.
+func checkCtxCapture(pass *Pass, file *ast.File, lit *ast.FuncLit) {
+	captured := token.NoPos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured.IsValid() {
+			return !captured.IsValid()
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || !isCtxType(obj.Type()) {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			captured = id.Pos()
+		}
+		return true
+	})
+	if !captured.IsValid() {
+		return
+	}
+	if use := escapingLitUse(pass, file, lit); use != "" {
+		pass.Reportf(lit.Pos(), "closure capturing a *sim.Ctx is %s; the statement baton must not outlive its invocation", use)
+	}
+}
+
+// escapingLitUse classifies how lit is consumed by its innermost
+// enclosing node, returning "" when the use cannot outlive the
+// enclosing invocation (immediate call, defer, or a plain local
+// binding).
+func escapingLitUse(pass *Pass, file *ast.File, lit *ast.FuncLit) string {
+	path := enclosing(file, lit)
+	for i := len(path) - 2; i >= 0; i-- {
+		switch parent := path[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			if stripParens(parent.Fun) == lit {
+				// Immediately invoked — unless the invocation is a `go`
+				// statement, which runs it off the simulated schedule.
+				if i > 0 {
+					if _, isGo := path[i-1].(*ast.GoStmt); isGo {
+						return "launched as a goroutine"
+					}
+				}
+				return ""
+			}
+			return "passed to a call that may retain it"
+		case *ast.DeferStmt:
+			return ""
+		case *ast.GoStmt:
+			return "launched as a goroutine"
+		case *ast.AssignStmt, *ast.ValueSpec:
+			// Local binding: a later stored/returned use of the variable
+			// is out of this pass's reach, but the overwhelmingly common
+			// case (helper := func(){...}; helper()) is legitimate.
+			return ""
+		case *ast.ReturnStmt:
+			return "returned"
+		case *ast.SendStmt:
+			return "sent on a channel"
+		case *ast.CompositeLit:
+			return "stored into a composite literal"
+		case *ast.KeyValueExpr:
+			continue
+		default:
+			_ = parent
+			return ""
+		}
+	}
+	return ""
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// enclosing returns the path of nodes from file down to target.
+func enclosing(file *ast.File, target ast.Node) []ast.Node {
+	var path, found []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			path = path[:len(path)-1]
+			return true
+		}
+		path = append(path, n)
+		if n == target {
+			found = append([]ast.Node(nil), path...)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isCtx(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && isCtxType(tv.Type)
+}
+
+// isCtxType reports whether t is sim.Ctx or *sim.Ctx.
+func isCtxType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Ctx" && obj.Pkg() != nil && obj.Pkg().Path() == simPath
+}
+
+// isGlobalVar reports whether obj is a package-level variable.
+func isGlobalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() != nil && v.Parent() == v.Pkg().Scope()
+}

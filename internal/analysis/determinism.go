@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// replayPackages are the packages bound by the artifact determinism
+// contract: given the same inputs (meta, decisions, seeds), they must
+// produce byte-identical results, so a saved repro bundle replays
+// faithfully on any machine at any parallelism.
+var replayPackages = []string{
+	"repro/internal/check",
+	"repro/internal/artifact",
+	"repro/internal/minimize",
+	"repro/internal/trace",
+}
+
+// Determinism flags nondeterminism sources in the replay-sensitive
+// packages: wall-clock reads, unseeded math/rand, goroutine spawns
+// outside the sanctioned worker pools, and map iteration whose order
+// can leak into output. Sanctioned uses carry markers — walltime,
+// goroutine, maporder, rand — each with a reason the driver validates.
+// A map range is accepted without a marker in exactly one idiom: a
+// single-statement body appending keys/values to a slice, immediately
+// followed by a sort of that slice (order provably cannot escape).
+var Determinism = &Analyzer{
+	Name:      "determinism",
+	Doc:       "replay-sensitive packages (check, artifact, minimize, trace) must be deterministic functions of their inputs",
+	AllowKeys: []string{"walltime", "goroutine", "maporder", "rand"},
+	SkipTests: true,
+	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, replayPackages...) },
+	Run:       runDeterminism,
+}
+
+// walltimeFuncs are the time functions that read the wall clock or
+// depend on real elapsed time.
+var walltimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand functions that construct explicitly
+// seeded generators; everything else at package level draws from the
+// shared, run-dependent source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawn in a replay-sensitive package; results must merge in canonical order — annotate sanctioned worker pools //repro:allow goroutine <reason>")
+			case *ast.CallExpr:
+				if pkg, name := pkgFunc(pass, n.Fun); pkg != "" {
+					switch {
+					case pkg == "time" && walltimeFuncs[name]:
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock in a replay-sensitive package; derive timing from simulation steps or annotate //repro:allow walltime <reason>", name)
+					case pkg == "math/rand" && !seededRandFuncs[name]:
+						pass.Reportf(n.Pos(), "math/rand.%s draws from the shared unseeded source; use rand.New(rand.NewSource(seed)) so replays are reproducible", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !sortedCollect(pass, f, n) {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic and may reach output; collect-and-sort the keys or annotate //repro:allow maporder <reason>")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFunc resolves fun to (package path, function name) when it is a
+// direct reference to a package-level function, else ("", "").
+func pkgFunc(pass *Pass, fun ast.Expr) (string, string) {
+	sel, ok := stripParens(fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	if pass.Info.Selections[sel] != nil {
+		return "", "" // method or field, not a package-qualified func
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", ""
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// sortedCollect recognizes the one map-range idiom whose order cannot
+// escape: the body is a single append of the key or value into a slice
+// variable, and the statement immediately after the loop sorts that
+// slice (any sort.* call mentioning it).
+func sortedCollect(pass *Pass, file *ast.File, loop *ast.RangeStmt) bool {
+	if len(loop.Body.List) != 1 {
+		return false
+	}
+	assign, ok := loop.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	targetObj := pass.Info.Uses[target]
+	if targetObj == nil {
+		return false
+	}
+	// Find the statement following the loop in its enclosing block and
+	// require it to be a sort of the collected slice.
+	next := nextStmt(file, loop)
+	if next == nil {
+		return false
+	}
+	expr, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if pkg, _ := pkgFunc(pass, sortCall.Fun); pkg != "sort" && pkg != "slices" {
+		return false
+	}
+	mentions := false
+	for _, arg := range sortCall.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == targetObj {
+				mentions = true
+			}
+			return !mentions
+		})
+	}
+	return mentions
+}
+
+// nextStmt returns the statement immediately following s in its
+// innermost enclosing statement list, or nil.
+func nextStmt(file *ast.File, s ast.Stmt) ast.Stmt {
+	var next ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if next != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			if st == s && i+1 < len(list) {
+				next = list[i+1]
+				return false
+			}
+		}
+		return true
+	})
+	return next
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive requires every switch over a sim event/op enum (a defined
+// integer type in repro/internal/sim with two or more declared
+// constants) to either cover every constant or carry a default clause.
+// Observers dispatch on these enums; a silently-ignored new event kind
+// (the SchedCrash case added with the fault model) is exactly how a
+// trace or audit goes quietly incomplete.
+var Exhaustive = &Analyzer{
+	Name:      "exhaustive",
+	Doc:       "switches over sim event/op enums must cover every constant or have a default",
+	AllowKeys: []string{"exhaustive"},
+	Run:       runExhaustive,
+}
+
+func runExhaustive(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != simPath {
+				return true
+			}
+			if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+				return true
+			}
+			consts := enumConstants(obj.Pkg(), named)
+			if len(consts) < 2 {
+				return true
+			}
+			covered := map[string]bool{}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default clause present
+				}
+				for _, e := range cc.List {
+					if ctv, ok := pass.Info.Types[e]; ok && ctv.Value != nil {
+						covered[ctv.Value.ExactString()] = true
+					}
+				}
+			}
+			var missing []string
+			for val, name := range consts {
+				if !covered[val] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(), "switch over sim.%s misses %s; add the cases or a default clause",
+					obj.Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumConstants returns value→name for every package-level constant of
+// exactly type named declared in pkg. Constants sharing a value (enum
+// aliases) collapse to one entry.
+func enumConstants(pkg *types.Package, named *types.Named) map[string]string {
+	out := map[string]string{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		val := c.Val().ExactString()
+		if prev, ok := out[val]; ok {
+			out[val] = fmt.Sprintf("%s/%s", prev, name)
+		} else {
+			out[val] = name
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// algorithmPackages are the packages implementing the paper's
+// algorithms and their comparators. Their concurrency is *simulated*:
+// processes are sim goroutines driven one atomic statement at a time by
+// the kernel, so the algorithm code itself must be straight-line Go —
+// native synchronization or concurrency there would race the simulated
+// schedule and void every counted bound.
+var algorithmPackages = []string{
+	"repro/internal/unicons",
+	"repro/internal/multicons",
+	"repro/internal/hybridcas",
+	"repro/internal/universal",
+	"repro/internal/qlocal",
+	"repro/internal/renaming",
+	"repro/internal/baseline",
+}
+
+// SimOnly forbids native concurrency and environment access in
+// algorithm packages: importing sync (tests may import sync/atomic for
+// cross-checking the simulator), time, or os, and any go statement or
+// channel type outside test files. There is deliberately no allow
+// marker — an algorithm that "needs" native concurrency is modeling the
+// wrong machine.
+var SimOnly = &Analyzer{
+	Name:      "simonly",
+	Doc:       "algorithm packages run on the simulated machine only: no sync/time/os imports, no go statements, no channels",
+	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, algorithmPackages...) },
+	Run:       runSimOnly,
+}
+
+func runSimOnly(pass *Pass) error {
+	for _, f := range pass.Files {
+		isTest := pass.IsTest(f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case path == "sync/atomic":
+				if !isTest {
+					pass.Reportf(imp.Pos(), "algorithm packages must not import sync/atomic outside tests; concurrency is simulated through sim.Ctx, never native")
+				}
+			case path == "sync" || strings.HasPrefix(path, "sync/"):
+				pass.Reportf(imp.Pos(), "algorithm packages must not import %s; concurrency is simulated through sim.Ctx, never native", path)
+			case path == "time" || path == "os":
+				pass.Reportf(imp.Pos(), "algorithm packages must not import %s; the simulated machine has no wall clock or environment", path)
+			}
+		}
+		if isTest {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in an algorithm package; processes are scheduled by the sim kernel, never natively")
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type in an algorithm package; processes communicate through shared mem registers under sim.Ctx only")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in an algorithm package; concurrency is simulated, never native")
+			}
+			return true
+		})
+	}
+	return nil
+}

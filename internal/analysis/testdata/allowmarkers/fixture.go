@@ -1,0 +1,12 @@
+// Package fixture exercises allow-marker validation: markers must
+// parse, use a known key, carry a reason, and be load-bearing.
+package fixture
+
+//repro:allow post-run
+func malformed() {}
+
+//repro:allow frobnicate this key exists in no analyzer
+func unknownKey() {}
+
+//repro:allow post-run suppresses nothing here, so it is stale
+func stale() {}

@@ -1,0 +1,62 @@
+// Package fixture exercises the atomicaccess analyzer: every shared
+// access must go through sim.Ctx, charging exactly one atomic
+// statement.
+package fixture
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// doubleCharge reproduces the exact bug class atomicaccess exists for:
+// the body performs TWO shared reads while charging ONE statement (the
+// c.Read). Under that accounting a Fig. 3-style invocation would claim
+// 8 statements while actually touching shared memory more often, faking
+// a Q >= 8 bound that the real interleavings can break.
+func doubleCharge(c *sim.Ctx, a, b *mem.Reg) mem.Word {
+	v := c.Read(a) // one statement, one access: correct
+	w := b.Load()  // want `raw mem\.Reg\.Load bypasses sim\.Ctx statement accounting`
+	return v + w
+}
+
+func rawStore(r *mem.Reg) {
+	r.Store(1) // want `raw mem\.Reg\.Store bypasses`
+}
+
+func rawInvoke(o *mem.ConsObject) mem.Word {
+	return o.Invoke(7) // want `raw mem\.ConsObject\.Invoke bypasses`
+}
+
+func rawInspect(o *mem.ConsObject) (int, mem.Word) {
+	return o.Invocations(), // want `raw mem\.ConsObject\.Invocations bypasses`
+		o.Decided() // want `raw mem\.ConsObject\.Decided bypasses`
+}
+
+func rawCAS(o *mem.CASObject) bool {
+	return o.CompareAndSwap(0, 1) // want `raw mem\.CASObject\.CompareAndSwap bypasses`
+}
+
+func rawCASLoad(o *mem.CASObject) mem.Word {
+	return o.Load() // want `raw mem\.CASObject\.Load bypasses`
+}
+
+// peek is legitimate post-run inspection and carries the allow marker.
+func peek(r *mem.Reg) mem.Word {
+	//repro:allow post-run fixture inspection helper reads only after the run completes
+	return r.Load()
+}
+
+// viaCtx is the discipline the analyzer enforces: every access charges
+// exactly one statement under the baton.
+func viaCtx(c *sim.Ctx, r *mem.Reg, o *mem.ConsObject, w *mem.CASObject) mem.Word {
+	v := c.Read(r)
+	c.Write(r, v+1)
+	c.CASPrim(w, 0, 1)
+	_ = c.LoadPrim(w)
+	return c.CCons(o, v)
+}
+
+// metadata accessors are not shared state and stay unflagged.
+func metadata(r *mem.Reg, o *mem.ConsObject) (string, int) {
+	return r.Name(), o.C()
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the ctxescape analyzer: the *sim.Ctx
+// statement baton must not outlive the invocation body it was passed
+// to.
+package fixture
+
+import "repro/internal/sim"
+
+type holder struct{ c *sim.Ctx }
+
+var leaked *sim.Ctx
+
+func storeField(h *holder, c *sim.Ctx) {
+	h.c = c // want `\*sim\.Ctx stored into struct field c`
+}
+
+func storeGlobal(c *sim.Ctx) {
+	leaked = c // want `stored into package-level variable leaked`
+}
+
+func storeElem(m map[int]*sim.Ctx, c *sim.Ctx) {
+	m[0] = c // want `stored into a container element`
+}
+
+func sendChan(ch chan *sim.Ctx, c *sim.Ctx) {
+	ch <- c // want `sent on a channel`
+}
+
+func ret(c *sim.Ctx) *sim.Ctx {
+	return c // want `returned from a function`
+}
+
+func lit(c *sim.Ctx) *holder {
+	return &holder{c: c} // want `stored into a composite literal`
+}
+
+func escapeClosure(c *sim.Ctx, sink func(func())) {
+	sink(func() { c.Local(1) }) // want `passed to a call that may retain it`
+}
+
+func goClosure(c *sim.Ctx) {
+	go func() { c.Local(1) }() // want `launched as a goroutine`
+}
+
+// Staying inside the invocation is fine: helpers called in place,
+// IIFEs, and defers all complete before the body returns the baton.
+func okUses(c *sim.Ctx) {
+	helper := func() { c.Local(1) }
+	helper()
+	func() { c.Local(1) }()
+	defer func() { c.Local(1) }()
+	own(c)
+}
+
+// Passing the baton down the call stack is the intended pattern.
+func own(c *sim.Ctx) { c.Local(1) }
+
+// A closure with its own Ctx parameter captures nothing.
+func ownParam(register func(func(*sim.Ctx))) {
+	register(func(c *sim.Ctx) { c.Local(1) })
+}

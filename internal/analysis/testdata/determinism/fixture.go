@@ -1,0 +1,77 @@
+// Package fixture exercises the determinism analyzer: replay-sensitive
+// code must be a deterministic function of its inputs.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallclock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func markedWallclock() time.Time {
+	//repro:allow walltime fixture diagnostic timing never reaches replayed output
+	return time.Now()
+}
+
+func unseeded() int {
+	return rand.Intn(4) // want `math/rand\.Intn draws from the shared unseeded source`
+}
+
+// seeded generators replay byte-identically and are the sanctioned form.
+func seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(4)
+}
+
+func spawn() {
+	go func() {}() // want `goroutine spawn in a replay-sensitive package`
+}
+
+func markedSpawn(work func()) {
+	//repro:allow goroutine fixture worker pool merges results canonically
+	go work()
+}
+
+func mapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedIdiom is the one marker-free map range: collect into a slice,
+// sort immediately after — iteration order provably cannot escape.
+func sortedIdiom(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func markedCount(m map[string]int) int {
+	n := 0
+	//repro:allow maporder order-insensitive counting loop
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Slice iteration is ordered and always fine.
+func sliceRange(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

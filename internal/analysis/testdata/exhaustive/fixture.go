@@ -1,0 +1,46 @@
+// Package fixture exercises the exhaustive analyzer: switches over sim
+// event/op enums must cover every constant or carry a default.
+package fixture
+
+import "repro/internal/sim"
+
+func full(k sim.SchedKind) bool {
+	switch k {
+	case sim.SchedArrive, sim.SchedPreempt, sim.SchedInvEnd, sim.SchedProcDone, sim.SchedCrash:
+		return true
+	}
+	return false
+}
+
+func missing(k sim.SchedKind) {
+	switch k { // want `switch over sim\.SchedKind misses SchedCrash, SchedProcDone`
+	case sim.SchedArrive, sim.SchedPreempt, sim.SchedInvEnd:
+	}
+}
+
+func defaulted(k sim.SchedKind) {
+	switch k {
+	case sim.SchedArrive:
+	default:
+	}
+}
+
+func ops(o sim.Op) {
+	switch o { // want `switch over sim\.Op misses OpLocal`
+	case sim.OpRead, sim.OpWrite, sim.OpCons:
+	}
+}
+
+func allowedPartial(k sim.SchedKind) {
+	//repro:allow exhaustive fixture demonstrates a justified partial dispatch
+	switch k {
+	case sim.SchedArrive:
+	}
+}
+
+// Switches over non-sim types are out of scope.
+func notEnum(n int) {
+	switch n {
+	case 1:
+	}
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the simonly analyzer: algorithm packages
+// model the paper's machine, whose concurrency is simulated by the sim
+// kernel — never native.
+package fixture
+
+import (
+	"os"          // want `must not import os`
+	"sync"        // want `must not import sync`
+	"sync/atomic" // want `must not import sync/atomic outside tests`
+	"time"        // want `must not import time`
+)
+
+var (
+	mu      sync.Mutex
+	flag    atomic.Bool
+	_       = time.Second
+	environ = os.Args
+)
+
+func spawn() {
+	go work() // want `go statement in an algorithm package`
+}
+
+func work() { mu.Lock(); defer mu.Unlock(); flag.Store(true); _ = environ }
+
+type pipe chan int // want `channel type in an algorithm package`
+
+func sel() {
+	select {} // want `select statement in an algorithm package`
+}

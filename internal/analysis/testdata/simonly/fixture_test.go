@@ -1,0 +1,13 @@
+package fixture
+
+// Tests may import sync/atomic to cross-check the simulator natively;
+// everything else stays forbidden even here.
+
+import (
+	"sync/atomic"
+	"time" // want `must not import time`
+)
+
+var testFlag atomic.Bool
+
+var _ = time.Second

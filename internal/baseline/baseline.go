@@ -65,7 +65,10 @@ func (d *Direct) Decide(c *sim.Ctx, val mem.Word) mem.Word {
 }
 
 // Invocations returns the object's invocation count. Post-run only.
-func (d *Direct) Invocations() int { return d.o.Invocations() }
+func (d *Direct) Invocations() int {
+	//repro:allow post-run invocation-limit checks read the count after the run completes
+	return d.o.Invocations()
+}
 
 // LockCounter is a shared counter protected by a CAS spinlock. Acquire
 // spins; a process preempted while holding the lock blocks all waiters,
@@ -98,4 +101,7 @@ func (l *LockCounter) Inc(c *sim.Ctx) mem.Word {
 }
 
 // Peek returns the current value. Post-run inspection only.
-func (l *LockCounter) Peek() mem.Word { return l.value.Load() }
+func (l *LockCounter) Peek() mem.Word {
+	//repro:allow post-run inspection helper; reads the counter after the run completes
+	return l.value.Load()
+}

@@ -71,10 +71,11 @@ func newCollector(opts Options) *collector {
 		ctx = context.Background()
 	}
 	return &collector{
-		opts:      opts,
-		ctx:       ctx,
-		maxSched:  int64(opts.maxSchedules()),
-		maxViol:   opts.maxViolations(),
+		opts:     opts,
+		ctx:      ctx,
+		maxSched: int64(opts.maxSchedules()),
+		maxViol:  opts.maxViolations(),
+		//repro:allow walltime start feeds only Result.Elapsed and progress reporting, never replayed output
 		start:     time.Now(),
 		progEvery: opts.progressEvery(),
 	}
@@ -120,6 +121,7 @@ func (c *collector) unclaim() {
 func (c *collector) count() {
 	n := c.counted.Add(1)
 	if c.opts.Progress != nil && n%c.progEvery == 0 {
+		//repro:allow walltime elapsed feeds only ProgressInfo/Result.Elapsed diagnostics, never replayed output
 		elapsed := time.Since(c.start)
 		info := ProgressInfo{Schedules: n, Violations: c.violTotal.Load(), Elapsed: elapsed}
 		if s := elapsed.Seconds(); s > 0 {
@@ -310,6 +312,7 @@ func explore[T any](c *collector, q *workQueue[T], parallelism int, process func
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
+		//repro:allow goroutine sanctioned explorer worker pool; the collector merges results in canonical schedule order
 		go func() {
 			defer wg.Done()
 			for {
@@ -508,6 +511,7 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 	var wg sync.WaitGroup
 	for w := 0; w < opts.parallelism(); w++ {
 		wg.Add(1)
+		//repro:allow goroutine sanctioned fuzz worker pool; seeds partition by atomic counter and results merge in canonical seed order
 		go func() {
 			defer wg.Done()
 			for {

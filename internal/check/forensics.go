@@ -62,6 +62,7 @@ func (c *collector) forensics(res *Result) {
 		}
 		wg.Add(1)
 		sem <- struct{}{}
+		//repro:allow goroutine sanctioned forensics pool; each worker owns one violation slot, so the merged result is order-independent
 		go func() {
 			defer func() { <-sem; wg.Done() }()
 			c.forensicsOne(meta, v)

@@ -290,6 +290,7 @@ func (o *Object) Peek() mem.Word {
 	if o.rec != nil {
 		best := mem.Word(0)
 		for v := 1; v <= o.levels; v++ {
+			//repro:allow post-run Peek walks hint registers only after the run completes
 			_, hv := qlocal.UnpackCur(o.hd[v].Hint().Load())
 			hk := unpackKey(hv)
 			if d := o.rec.depths[hk]; d >= best {
@@ -301,6 +302,7 @@ func (o *Object) Peek() mem.Word {
 		cl := o.cellAt(k)
 		nxt := cl.nxt.Peek()
 		if nxt == mem.Bottom {
+			//repro:allow post-run Peek reads the chain tail only after the run completes
 			return cl.val.Load()
 		}
 		k = unpackKey(nxt)

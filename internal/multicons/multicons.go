@@ -244,6 +244,7 @@ func (a *Algorithm) Decide(c *sim.Ctx, val mem.Word) mem.Word {
 func (a *Algorithm) Invocations() []int {
 	out := make([]int, a.l+1)
 	for l := 1; l <= a.l; l++ {
+		//repro:allow post-run invocation counts are read only after the run completes
 		out[l] = a.levelObjs[l].Invocations()
 	}
 	return out

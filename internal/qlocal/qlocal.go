@@ -231,6 +231,7 @@ func (o *Object) Hint() *mem.Reg { return o.cur }
 // Post-run inspection only.
 func (o *Object) Peek() mem.Word {
 	for j := len(o.vals) - 1; j >= 0; j-- {
+		//repro:allow post-run inspection helper; scans published values after the run completes
 		if v := o.vals[j].Load(); v != mem.Bottom {
 			return v
 		}
@@ -243,6 +244,7 @@ func (o *Object) Peek() mem.Word {
 func (o *Object) Ops() int {
 	n := 0
 	for j := 1; j < len(o.vals); j++ {
+		//repro:allow post-run inspection helper; counts published transitions after the run completes
 		if o.vals[j].Load() != mem.Bottom {
 			n++
 		}

@@ -87,8 +87,9 @@ type RenderOptions struct {
 // Render produces the Fig. 1/2-style timeline. Each row is one process;
 // '[' marks an invocation's first statement, ']' its last, '=' (or the
 // op mnemonic) statements in between, '*' a single-statement invocation,
-// and '!' the first statement after suffering a same-priority
-// preemption. A recorder that dropped events past its buffer limit
+// '!' the first statement after suffering a same-priority preemption,
+// and 'X' the point where a crash-stop fault halted the process for
+// good. A recorder that dropped events past its buffer limit
 // renders a trailing truncation marker — an incomplete forensics
 // timeline always says so.
 func (r *Recorder) Render(opts RenderOptions) string {
@@ -146,6 +147,16 @@ func (r *Recorder) Render(opts RenderOptions) string {
 					rows[ev.Proc][s] = '!'
 					break
 				}
+			}
+		case sim.SchedCrash:
+			// Mark the crash-stop point with 'X': the process halts
+			// there and never acts again, so the rest of its row stays
+			// blank. A crash after the last recorded statement clamps to
+			// the final column; a process that never executed a
+			// statement has no row to mark.
+			row := rows[ev.Proc]
+			if s := min(ev.Step, int64(width)-1); row != nil && row[s] == ' ' {
+				row[s] = 'X'
 			}
 		}
 	}

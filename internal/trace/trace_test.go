@@ -160,3 +160,41 @@ func TestOpString(t *testing.T) {
 		}
 	}
 }
+
+// TestRenderMarksCrashes: a crash-stop fault renders as 'X' at the
+// point the process halted, so crash timelines are visibly different
+// from completed ones (the exhaustive lint found this case silently
+// ignored).
+func TestRenderMarksCrashes(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	sys := sim.New(sim.Config{
+		Processors: 1, Quantum: 3,
+		Chooser:  sched.NewCrash(sim.FirstChooser{}, sched.CrashPoint{Proc: 0, Step: 2}),
+		Observer: rec, MaxSteps: 1 << 12,
+	})
+	r := mem.NewReg("x")
+	for i := 0; i < 2; i++ {
+		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1, Name: []string{"p", "q"}[i]}).
+			AddInvocation(func(c *sim.Ctx) {
+				for k := 0; k < 4; k++ {
+					c.Write(r, 1)
+				}
+			})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	crashes := 0
+	for _, ev := range rec.Schedules() {
+		if ev.Kind == sim.SchedCrash {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("planned crash did not occur")
+	}
+	out := rec.Render(trace.RenderOptions{})
+	if !strings.Contains(out, "X") {
+		t.Fatalf("render missing crash mark:\n%s", out)
+	}
+}

@@ -83,4 +83,7 @@ func (o *Object) ReadValue(c *sim.Ctx) mem.Word {
 // Peek returns the current value of P[3] without executing statements.
 // It is a post-run inspection helper for tests and must not be called
 // from algorithm code.
-func (o *Object) Peek() mem.Word { return o.P[2].Load() }
+func (o *Object) Peek() mem.Word {
+	//repro:allow post-run inspection helper; reads P[3] after the run completes, charging no statement
+	return o.P[2].Load()
+}

@@ -62,7 +62,10 @@ func (s multiSlot) decide(c *sim.Ctx, p mem.Word) mem.Word {
 	return v
 }
 
-func (s multiSlot) peek() mem.Word { return s.decided.Load() }
+func (s multiSlot) peek() mem.Word {
+	//repro:allow post-run inspection: PeekState replays decided slots only after the run completes
+	return s.decided.Load()
+}
 
 // core is the shared chain logic: slot k's consensus decides the k-th
 // operation as a packed (proposer, op) word; state is reconstructed by

@@ -35,9 +35,9 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/check"
-	"repro/internal/minimize"
 	"repro/internal/hybridcas"
 	"repro/internal/mem"
+	"repro/internal/minimize"
 	"repro/internal/multicons"
 	"repro/internal/qlocal"
 	"repro/internal/renaming"
