@@ -21,7 +21,8 @@ import (
 	"repro/internal/bench"
 )
 
-// report is the BENCH_explore.json schema, version 1.
+// report is the BENCH_explore.json schema, version 2 (version 2 added
+// the reduction comparison).
 type report struct {
 	Version    int                    `json:"version"`
 	Timestamp  string                 `json:"timestamp"`
@@ -30,6 +31,7 @@ type report struct {
 	Sequential bench.Throughput       `json:"explore_sequential"`
 	Parallel   bench.Throughput       `json:"explore_parallel"`
 	Speedup    float64                `json:"speedup"`
+	Reduction  bench.ReductionBench   `json:"reduction"`
 	Shrink     bench.ShrinkThroughput `json:"shrink"`
 }
 
@@ -58,6 +60,12 @@ func main() {
 	}
 	fmt.Printf("benchjson: parallel(%d): %d schedules in %.2fs (%.0f/sec, %.2fx)\n",
 		workers, par.Schedules, par.Seconds, par.PerSec, par.PerSec/seq.PerSec)
+	red, err := bench.MeasureReduction(workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: reduction(%s): %d -> %d schedules (%.1fx fewer), %.0f/sec reduced\n",
+		red.Mode, red.PlainSchedules, red.ReducedSchedules, red.Ratio, red.ReducedPerSec)
 	shr, err := bench.MeasureShrink(*budget)
 	if err != nil {
 		fatal(err)
@@ -66,13 +74,14 @@ func main() {
 		shr.Candidates, shr.Seconds, shr.PerSec, shr.FromDecisions, shr.ToDecisions)
 
 	rep := report{
-		Version:    1,
+		Version:    2,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		Sequential: seq,
 		Parallel:   par,
 		Speedup:    par.PerSec / seq.PerSec,
+		Reduction:  red,
 		Shrink:     shr,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

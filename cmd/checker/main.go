@@ -15,6 +15,7 @@
 //	checker -alg fig7 -p 2 -mode all -timeout 30s        # partial results at the deadline
 //	checker -alg fig3 -n 3 -waitfree-bound 8             # enforce the Theorem 1 step bound
 //	checker -alg fig3 -n 3 -q 2 -minimize -artifact-dir ./artifacts
+//	checker -alg fig3 -n 2 -q 0 -mode all -reduction full  # same verdict, far fewer schedules
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "report live schedules/sec and violation count on stderr")
 		timeout    = flag.Duration("timeout", 0, "wall-clock bound; on expiry the exploration stops at a schedule boundary with partial results (0 = none)")
 		wfBound    = flag.Int64("waitfree-bound", 0, "fail any run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
+		reduction  = flag.String("reduction", "none", "exploration reduction: none|sleepset|fingerprint|full (verdict-preserving; violation counts become lower bounds)")
 		artDir     = flag.String("artifact-dir", "", "write a replayable repro bundle per violation into this directory")
 		minimizeF  = flag.Bool("minimize", false, "shrink each violation to a minimal still-failing schedule before reporting")
 		shrinkBudg = flag.Int("shrink-budget", 0, "candidate replays per shrunk violation (0 = internal/minimize default)")
@@ -67,7 +69,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel, WaitFreeBound: *wfBound}
+	red, err := check.ParseReduction(*reduction)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+		os.Exit(2)
+	}
+	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel, WaitFreeBound: *wfBound, Reduction: red}
 	if *minimizeF || *artDir != "" {
 		opts.ArtifactMeta = &meta
 		opts.Minimize = *minimizeF
@@ -103,6 +110,14 @@ func main() {
 	}
 
 	fmt.Printf("explored %d schedules (truncated=%v)\n", res.Schedules, res.Truncated)
+	if rs := res.Reduction; rs != nil {
+		fmt.Printf("reduction %s: %d sleep-pruned runs, %d sleep-skipped branches, %d fingerprint-pruned runs\n",
+			rs.Mode, rs.SleepPrunedRuns, rs.SleepSkippedBranches, rs.FingerprintPrunedRuns)
+		if rs.CacheHits > 0 || rs.CacheEntries > 0 {
+			fmt.Printf("fingerprint cache: %d hits, %d entries, %d evictions\n",
+				rs.CacheHits, rs.CacheEntries, rs.CacheEvictions)
+		}
+	}
 	if res.Interrupted {
 		fmt.Printf("interrupted by -timeout %v: results are partial\n", *timeout)
 	}

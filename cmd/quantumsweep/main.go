@@ -3,9 +3,15 @@
 // scheduling quantum under an adversarial schedule battery and reports
 // the largest failing and smallest working quantum.
 //
+// The battery's bounded-deviation leg runs with full reduction
+// (sleep sets + fingerprint pruning) by default; reductions preserve
+// verdicts, so the frontier is unchanged, only faster. -no-reduction
+// restores the plain enumeration for cross-checking.
+//
 // Usage:
 //
 //	quantumsweep -p 2 -m 3 -v 1 -seeds 150
+//	quantumsweep -p 2 -m 3 -no-reduction   # plain enumeration cross-check
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/check"
 )
 
 func main() {
@@ -25,6 +32,7 @@ func main() {
 		seeds    = flag.Int("seeds", 150, "random schedules per battery")
 		grid     = flag.String("grid", "", "comma-separated quantum grid (default built-in)")
 		parallel = flag.Int("parallel", 0, "workers per schedule battery (0 = all CPUs, 1 = sequential)")
+		noRed    = flag.Bool("no-reduction", false, "disable exploration reductions in the deviation battery leg (slower, same verdicts)")
 	)
 	flag.Parse()
 
@@ -39,6 +47,10 @@ func main() {
 			qGrid = append(qGrid, q)
 		}
 	}
-	rows := bench.Table1SweepPar(*p, *m, *v, *seeds, qGrid, *parallel)
+	red := check.ReductionFull
+	if *noRed {
+		red = check.ReductionNone
+	}
+	rows := bench.Table1SweepRed(*p, *m, *v, *seeds, qGrid, *parallel, red)
 	fmt.Print(bench.RenderTable1(*p, *m, *v, rows))
 }

@@ -63,6 +63,8 @@ func TestScopes(t *testing.T) {
 		{analysis.Determinism, "repro/internal/artifact", true},
 		{analysis.Determinism, "repro/internal/minimize", true},
 		{analysis.Determinism, "repro/internal/trace", true},
+		{analysis.Determinism, "repro/internal/sim", true},
+		{analysis.Determinism, "repro/internal/sched", true},
 		{analysis.Determinism, "repro/internal/bench", false},
 		{analysis.SimOnly, "repro/internal/unicons", true},
 		{analysis.SimOnly, "repro/internal/multicons", true},

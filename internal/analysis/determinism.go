@@ -8,12 +8,17 @@ import (
 // replayPackages are the packages bound by the artifact determinism
 // contract: given the same inputs (meta, decisions, seeds), they must
 // produce byte-identical results, so a saved repro bundle replays
-// faithfully on any machine at any parallelism.
+// faithfully on any machine at any parallelism. sim and sched joined
+// the set when they grew the fingerprint/reduction machinery: a state
+// fingerprint polluted by map order or a cache eviction drawing
+// unseeded randomness would make reduced explorations unreproducible.
 var replayPackages = []string{
 	"repro/internal/check",
 	"repro/internal/artifact",
 	"repro/internal/minimize",
 	"repro/internal/trace",
+	"repro/internal/sim",
+	"repro/internal/sched",
 }
 
 // Determinism flags nondeterminism sources in the replay-sensitive
@@ -26,7 +31,7 @@ var replayPackages = []string{
 // followed by a sort of that slice (order provably cannot escape).
 var Determinism = &Analyzer{
 	Name:      "determinism",
-	Doc:       "replay-sensitive packages (check, artifact, minimize, trace) must be deterministic functions of their inputs",
+	Doc:       "replay-sensitive packages (check, artifact, minimize, trace, sim, sched) must be deterministic functions of their inputs",
 	AllowKeys: []string{"walltime", "goroutine", "maporder", "rand"},
 	SkipTests: true,
 	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, replayPackages...) },

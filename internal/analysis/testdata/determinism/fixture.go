@@ -75,3 +75,34 @@ func sliceRange(xs []int) int {
 	}
 	return n
 }
+
+// A state fingerprint must never fold map iteration order into the
+// hash: two runs of the same schedule would fingerprint differently,
+// and reduced explorations would prune differently run to run.
+func fingerprintLeak(cells map[int]uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range cells { // want `map iteration order is nondeterministic`
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Order-independent folds (XOR commutes) are sanctioned with a marker —
+// the idiom behind the incremental memory fingerprint.
+func fingerprintXOR(cells map[int]uint64) uint64 {
+	var h uint64
+	//repro:allow maporder XOR fold is order-independent
+	for _, v := range cells {
+		h ^= v
+	}
+	return h
+}
+
+// Cache eviction must not draw unseeded randomness to pick a victim:
+// which entries survive decides which runs get pruned, so a random
+// policy would make reduced schedule counts unreproducible. Use FIFO or
+// any other input-deterministic policy.
+func evictRandom(order []uint64) uint64 {
+	return order[rand.Intn(len(order))] // want `math/rand\.Intn draws from the shared unseeded source`
+}

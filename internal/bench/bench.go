@@ -59,14 +59,20 @@ func fig7Builder(cfg multicons.Config, quantum int) check.Builder {
 	}
 }
 
+// budgetLegSchedules caps the bounded-deviation leg of the quantum
+// battery so large configurations stay a battery, not a proof.
+const budgetLegSchedules = 128
+
 // quantumHolds reports whether the Fig. 7 configuration passes a battery
 // of adversarial schedules at quantum q: the maximally-preempting Rotate
 // schedule, quantum-stagger adversaries at several alignment phases (the
-// Theorem 3 construction), and `seeds` pseudo-random schedules. The
-// deterministic battery fans out over parallelism workers (0 = NumCPU),
-// and the fuzz sweep runs on the parallel explorer with the same worker
-// budget.
-func quantumHolds(cfg multicons.Config, q, seeds, parallelism int) bool {
+// Theorem 3 construction), `seeds` pseudo-random schedules, and a
+// bounded exhaustive leg over every single-switch deviation from the
+// default schedule. The deterministic battery fans out over parallelism
+// workers (0 = NumCPU); the fuzz and deviation legs run on the parallel
+// explorer with the same worker budget, the deviation leg with the
+// given reduction (ReductionNone restores the plain enumeration).
+func quantumHolds(cfg multicons.Config, q, seeds, parallelism int, red check.Reduction) bool {
 	build := fig7Builder(cfg, q)
 	adversaries := []sim.Chooser{sched.NewRotate()}
 	for phase := 0; phase < min(q, 8); phase++ {
@@ -103,7 +109,16 @@ func quantumHolds(cfg multicons.Config, q, seeds, parallelism int) bool {
 		return false
 	}
 	res := check.Fuzz(build, seeds, check.Options{StopAtFirst: true, Parallelism: parallelism})
-	return res.OK()
+	if !res.OK() {
+		return false
+	}
+	bres := check.ExploreBudget(build, 1, check.Options{
+		StopAtFirst:  true,
+		Parallelism:  parallelism,
+		MaxSchedules: budgetLegSchedules,
+		Reduction:    red,
+	})
+	return bres.OK()
 }
 
 // Table1Row is one row of the reproduced Table 1: for consensus number
@@ -133,8 +148,18 @@ func Table1Sweep(p, m, v, seeds int, qGrid []int) []Table1Row {
 }
 
 // Table1SweepPar is Table1Sweep with an explicit worker count per
-// schedule battery (0 = runtime.NumCPU(), 1 = sequential).
+// schedule battery (0 = runtime.NumCPU(), 1 = sequential). The
+// bounded-deviation battery leg runs with full reduction; use
+// Table1SweepRed to control it.
 func Table1SweepPar(p, m, v, seeds int, qGrid []int, parallelism int) []Table1Row {
+	return Table1SweepRed(p, m, v, seeds, qGrid, parallelism, check.ReductionFull)
+}
+
+// Table1SweepRed is Table1SweepPar with an explicit reduction for the
+// bounded-deviation battery leg. Reductions preserve verdicts, so the
+// sweep's frontier is reduction-independent; ReductionNone exists as an
+// escape hatch for cross-checking.
+func Table1SweepRed(p, m, v, seeds int, qGrid []int, parallelism int, red check.Reduction) []Table1Row {
 	if qGrid == nil {
 		qGrid = DefaultQGrid()
 	}
@@ -143,7 +168,7 @@ func Table1SweepPar(p, m, v, seeds int, qGrid []int, parallelism int) []Table1Ro
 		cfg := multicons.Config{Name: "t1", P: p, K: k, M: m, V: v}
 		row := Table1Row{C: p + k, K: k, PaperFactor: max(2, 2*p+1-(p+k))}
 		for _, q := range qGrid {
-			if quantumHolds(cfg, q, seeds, parallelism) {
+			if quantumHolds(cfg, q, seeds, parallelism, red) {
 				if row.MinWorkingQ == 0 {
 					row.MinWorkingQ = q
 				}

@@ -59,6 +59,70 @@ func ExploreThroughput(parallelism int) (Throughput, error) {
 	}, nil
 }
 
+// ReductionBench compares plain and reduced exploration of the same
+// schedule tree: schedule counts, throughput, and the reduction ratio
+// (plain schedules / reduced schedules — how many× fewer runs the
+// reductions execute for the same verdict).
+type ReductionBench struct {
+	Workload          string  `json:"workload"`
+	Mode              string  `json:"mode"`
+	PlainSchedules    int     `json:"plain_schedules"`
+	ReducedSchedules  int     `json:"reduced_schedules"`
+	Ratio             float64 `json:"reduction_ratio"`
+	PlainPerSec       float64 `json:"plain_schedules_per_sec"`
+	ReducedPerSec     float64 `json:"reduced_schedules_per_sec"`
+	SleepPrunedRuns   int     `json:"sleep_pruned_runs"`
+	SleepSkipped      int64   `json:"sleep_skipped_branches"`
+	FingerprintPruned int     `json:"fingerprint_pruned_runs"`
+}
+
+// reductionMeta is the fixed workload timed by MeasureReduction: the
+// Fig. 3 algorithm for two processes at the fully-preemptive quantum,
+// explored exhaustively. Small enough that the plain enumeration
+// completes, adversarial enough that both runs find the violation.
+var reductionMeta = artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 0, MaxSteps: 1 << 16}
+
+// MeasureReduction explores the pinned configuration exhaustively twice
+// — plain and with full reduction — at the given worker count and
+// reports the reduction ratio. Both explorations must agree on the
+// verdict (this configuration violates), or an error is returned: the
+// benchmark doubles as a soundness cross-check.
+func MeasureReduction(parallelism int) (ReductionBench, error) {
+	build, err := check.BuilderFor(reductionMeta)
+	if err != nil {
+		return ReductionBench{}, err
+	}
+	opts := check.Options{Parallelism: parallelism, MaxSchedules: 1 << 22}
+	start := time.Now()
+	plain := check.ExploreAll(build, opts)
+	plainSecs := time.Since(start).Seconds()
+	opts.Reduction = check.ReductionFull
+	start = time.Now()
+	red := check.ExploreAll(build, opts)
+	redSecs := time.Since(start).Seconds()
+	for _, r := range []*check.Result{plain, red} {
+		if r.Truncated || r.Interrupted {
+			return ReductionBench{}, fmt.Errorf("bench: reduction exploration did not complete (%d schedules)", r.Schedules)
+		}
+	}
+	if plain.OK() != red.OK() {
+		return ReductionBench{}, fmt.Errorf("bench: reduction changed the verdict: plain %d violations, reduced %d",
+			plain.ViolationsTotal, red.ViolationsTotal)
+	}
+	return ReductionBench{
+		Workload:          reductionMeta.Workload,
+		Mode:              check.ReductionFull.String(),
+		PlainSchedules:    plain.Schedules,
+		ReducedSchedules:  red.Schedules,
+		Ratio:             float64(plain.Schedules) / float64(red.Schedules),
+		PlainPerSec:       float64(plain.Schedules) / plainSecs,
+		ReducedPerSec:     float64(red.Schedules) / redSecs,
+		SleepPrunedRuns:   red.Reduction.SleepPrunedRuns,
+		SleepSkipped:      red.Reduction.SleepSkippedBranches,
+		FingerprintPruned: red.Reduction.FingerprintPrunedRuns,
+	}, nil
+}
+
 // MeasureShrink finds a deterministic unicons violation and times
 // shrinking it, reporting candidate replays per second. The search and
 // the shrinker are both deterministic, so the work (though not the

@@ -48,6 +48,19 @@
 // timing; StopAtFirst still guarantees at least one violation is
 // returned if any exists, and First() is the canonically smallest
 // violation among those found.
+//
+// # Reductions
+//
+// Options.Reduction enables sleep-set partial-order reduction and/or
+// visited-fingerprint pruning (DESIGN.md §10). Reductions preserve
+// verdicts — a reduced exploration that runs to completion finds a
+// violation iff the plain one does — but ViolationsTotal becomes a
+// lower bound (equivalent interleavings collapse), and with
+// Parallelism > 1 the reduced schedule counts (never verdicts) can
+// vary run-to-run because fingerprint-cache insertion order is
+// timing-dependent; Parallelism: 1 restores byte-identical counts.
+// Violations found under reduction carry ordinary decision vectors, so
+// artifact replay and shrinking are unchanged.
 package check
 
 import (
@@ -140,6 +153,21 @@ type Options struct {
 	// replay does not reproduce gets Violation.ForensicsErr instead. A
 	// zero meta WaitFreeBound inherits Options.WaitFreeBound.
 	ArtifactMeta *artifact.Meta
+	// Reduction selects the exploration reductions (sleep-set
+	// partial-order reduction, visited-fingerprint pruning, or both).
+	// The zero value ReductionNone preserves the historical plain
+	// enumeration exactly. Reductions preserve verdicts — a reduced
+	// exploration that runs to completion finds a violation iff the
+	// plain one does — but not violation counts: equivalent
+	// interleavings collapse into one representative, so
+	// ViolationsTotal under reduction is a lower bound on the plain
+	// count. ExploreBudget honors only the fingerprint component; Fuzz
+	// ignores Reduction entirely (pruning a single random path loses
+	// coverage instead of saving it).
+	Reduction Reduction
+	// ReductionCache caps the visited-fingerprint cache (entries,
+	// 0 = 1<<20). Overflow evicts FIFO, which only forgoes pruning.
+	ReductionCache int
 	// Minimize shrinks each recorded violation's bundle to a minimal
 	// still-failing kernel (internal/minimize) before attaching it.
 	// Requires ArtifactMeta. Shrinking happens after exploration, fanned
@@ -176,6 +204,13 @@ func (o Options) parallelism() int {
 // wrapper to capture decision vectors.
 func (o Options) needDecisions() bool {
 	return o.CollectDecisions || o.Minimize || o.ArtifactMeta != nil
+}
+
+func (o Options) reductionCache() int {
+	if o.ReductionCache <= 0 {
+		return 1 << 20
+	}
+	return o.ReductionCache
 }
 
 func (o Options) progressEvery() int64 {
@@ -242,6 +277,10 @@ type Result struct {
 	// the exploration completed; Schedules then covers only the runs
 	// finished before cancellation.
 	Interrupted bool
+	// Reduction reports what the reductions did; nil when
+	// Options.Reduction was ReductionNone or the explorer ignores
+	// reduction (Fuzz).
+	Reduction *ReductionStats
 }
 
 // OK reports whether no violation was found.

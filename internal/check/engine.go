@@ -54,9 +54,14 @@ type collector struct {
 	violTotal   atomic.Int64
 	aliased     atomic.Int64
 	stepLimited atomic.Int64
-	truncated   atomic.Bool
-	interrupted atomic.Bool
-	stop        atomic.Bool
+
+	// Reduction tallies (zero when Options.Reduction is ReductionNone).
+	redSleepPruned  atomic.Int64
+	redFPPruned     atomic.Int64
+	redSleepSkipped atomic.Int64
+	truncated       atomic.Bool
+	interrupted     atomic.Bool
+	stop            atomic.Bool
 
 	mu    sync.Mutex
 	viols []keyedViolation // sorted by key, capped at maxViol
@@ -115,6 +120,28 @@ func (c *collector) claim() bool {
 func (c *collector) unclaim() {
 	c.claimed.Add(-1)
 	c.aliased.Add(1)
+}
+
+// release frees a slot claimed by a run a reduction pruned: a covered
+// partial replay is neither a schedule nor an alias, so it never counts
+// against MaxSchedules.
+func (c *collector) release() {
+	c.claimed.Add(-1)
+}
+
+// reductionStats assembles the ReductionStats for a finished reduced
+// exploration (cache may be nil for sleep-set-only mode).
+func (c *collector) reductionStats(mode Reduction, cache *fpCache) *ReductionStats {
+	rs := &ReductionStats{
+		Mode:                  mode.String(),
+		SleepPrunedRuns:       int(c.redSleepPruned.Load()),
+		SleepSkippedBranches:  c.redSleepSkipped.Load(),
+		FingerprintPrunedRuns: int(c.redFPPruned.Load()),
+	}
+	if cache != nil {
+		rs.CacheHits, rs.CacheEvictions, rs.CacheEntries = cache.stats()
+	}
+	return rs
 }
 
 // count records one executed schedule and emits progress when due.
@@ -336,6 +363,9 @@ func explore[T any](c *collector, q *workQueue[T], parallelism int, process func
 // fanning disjoint decision-vector subtrees out over
 // opts.Parallelism workers.
 func ExploreAll(build Builder, opts Options) *Result {
+	if opts.Reduction != ReductionNone {
+		return exploreAllReduced(build, opts)
+	}
 	c := newCollector(opts)
 	q := newWorkQueue[[]int]()
 	q.push([]int{})
@@ -429,15 +459,23 @@ type budgetItem struct {
 // covered exactly once.
 func ExploreBudget(build Builder, budget int, opts Options) *Result {
 	c := newCollector(opts)
+	var cache *fpCache
+	if opts.Reduction.fingerprints() {
+		cache = newFPCache(opts.reductionCache())
+	}
 	q := newWorkQueue[budgetItem]()
 	q.push(budgetItem{budget: budget})
 	explore(c, q, opts.parallelism(), func(item budgetItem) {
-		exploreBudgetItem(build, c, q, item)
+		exploreBudgetItem(build, c, q, cache, item)
 	})
-	return c.result()
+	res := c.result()
+	if opts.Reduction != ReductionNone {
+		res.Reduction = c.reductionStats(opts.Reduction, cache)
+	}
+	return res
 }
 
-func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], item budgetItem) {
+func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], cache *fpCache, item budgetItem) {
 	if !c.claim() {
 		return
 	}
@@ -445,7 +483,14 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], it
 	for _, sw := range item.switches {
 		switches[sw.d] = sw.choice
 	}
-	ch := &sched.BudgetedSwitch{SwitchAt: switches}
+	ch := &sched.BudgetedSwitch{SwitchAt: switches, Budget: item.budget}
+	if cache != nil {
+		// The chooser consults the cache only past the last directed
+		// switch, where the run is a pure default continuation from a
+		// state the fingerprint fully identifies (plus the chooser's
+		// current-process steering, folded in via PruneInfo.Extra).
+		ch.Prune = cache.pruneFunc()
+	}
 	schedule := fmt.Sprintf("switches=%v", switches)
 	aliased := func() bool {
 		return ch.Clamped || (len(item.switches) > 0 && item.switches[len(item.switches)-1].d >= ch.Decision)
@@ -453,6 +498,9 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], it
 	verr, panicked := protectedRun(schedule, func() error {
 		sys, verify := build(ch)
 		runErr := sys.Run()
+		if errors.Is(runErr, sim.ErrPickAbort) {
+			return nil // pruned, not an outcome
+		}
 		if aliased() {
 			return nil
 		}
@@ -461,7 +509,9 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], it
 	if !panicked && aliased() {
 		// A clamped or never-reached switch means the replay aliased a
 		// schedule with a different switch word (non-reentrant builder);
-		// skip it rather than double-count (see exploreAllItem).
+		// skip it rather than double-count (see exploreAllItem). A pruned
+		// run cannot look aliased: pruning fires only past the last
+		// directed switch, so every switch was reached.
 		c.unclaim()
 		return
 	}
@@ -476,16 +526,28 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], it
 		}
 		c.violation(key, schedule, verr, dec)
 	}
-	c.count()
+	if ch.Pruned && !panicked {
+		// A pruned run is a covered partial replay, not a schedule (see
+		// exploreAllReducedItem); its completed decisions still seed
+		// children below, and deviations at or after the prune point are
+		// covered by the cached visitor.
+		c.release()
+		c.redFPPruned.Add(1)
+	} else {
+		c.count()
+	}
 	// See exploreAllItem: no descent below a panicked schedule.
 	if c.stopped() || panicked || item.budget == 0 {
 		return
 	}
-	fanouts, taken := ch.Fanouts, ch.Taken
-	// Children in descending canonical order (see exploreAllItem).
+	taken := ch.Taken
+	// Children in descending canonical order (see exploreAllItem). The
+	// loop runs over decisions with a recorded choice — for a pruned run
+	// that excludes the abort decision, whose deviations the cached
+	// visitor covers.
 	var children []budgetItem
-	for d := int64(len(fanouts)) - 1; d >= item.minIndex; d-- {
-		for choice := fanouts[d] - 1; choice >= 0; choice-- {
+	for d := int64(len(taken)) - 1; d >= item.minIndex; d-- {
+		for choice := ch.Fanouts[d] - 1; choice >= 0; choice-- {
 			if choice == taken[d] {
 				continue
 			}

@@ -7,16 +7,36 @@ package mem
 // objects. An invocation is one atomic statement.
 type CASObject struct {
 	name string
+	id   uint64
 	v    Word
+	init Word
 }
 
 // NewCASObject returns a CAS word initialized to v.
 func NewCASObject(name string, v Word) *CASObject {
-	return &CASObject{name: name, v: v}
+	return &CASObject{name: name, id: HashName(name), v: v, init: v}
 }
 
 // Name returns the object's diagnostic name.
 func (o *CASObject) Name() string { return o.name }
+
+// Footprint returns the canonical footprint of one access of the given
+// kind to this object (AccessRead for Load, AccessCons for
+// CompareAndSwap — a CAS is order-sensitive like a consensus
+// invocation).
+func (o *CASObject) Footprint(kind AccessKind) Footprint {
+	return Footprint{Obj: o.id, Cell: -1, Kind: kind}
+}
+
+// StateHash returns this object's contribution to the memory-state
+// fingerprint: 0 while at its initial value, else a stable hash of
+// (id, value). See Reg.StateHash.
+func (o *CASObject) StateHash() uint64 {
+	if o.v == o.init {
+		return 0
+	}
+	return Mix(o.id, o.v)
+}
 
 // Load returns the current value. Statement-baton discipline applies.
 func (o *CASObject) Load() Word { return o.v }

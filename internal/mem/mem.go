@@ -25,21 +25,43 @@ const Bottom Word = ^Word(0)
 // The zero value is unusable; construct with NewReg or NewRegInit.
 type Reg struct {
 	name string
+	id   uint64
+	cell int
 	v    Word
+	init Word
 }
 
 // NewReg returns a register initialized to Bottom (⊥).
 func NewReg(name string) *Reg {
-	return &Reg{name: name, v: Bottom}
+	return NewRegInit(name, Bottom)
 }
 
 // NewRegInit returns a register initialized to v.
 func NewRegInit(name string, v Word) *Reg {
-	return &Reg{name: name, v: v}
+	return &Reg{name: name, id: HashName(name), cell: -1, v: v, init: v}
 }
 
 // Name returns the register's diagnostic name.
 func (r *Reg) Name() string { return r.name }
+
+// Footprint returns the canonical footprint of one access of the given
+// kind to this register.
+func (r *Reg) Footprint(kind AccessKind) Footprint {
+	return Footprint{Obj: r.id, Cell: r.cell, Kind: kind}
+}
+
+// StateHash returns this register's contribution to the memory-state
+// fingerprint: 0 while the register holds its initial value, else a
+// stable hash of (id, value). Because untouched objects contribute
+// nothing, XOR-combining StateHash over any superset of the touched
+// objects yields the same fingerprint for equal memory states,
+// independent of access order.
+func (r *Reg) StateHash() uint64 {
+	if r.v == r.init {
+		return 0
+	}
+	return Mix(r.id, r.v)
+}
 
 // Load returns the register's current value. It must only be called
 // while holding the statement baton (i.e. from sim.Ctx) or after the
@@ -52,11 +74,7 @@ func (r *Reg) Store(v Word) { r.v = v }
 
 // NewRegArray allocates n registers named name[0..n-1], all ⊥.
 func NewRegArray(name string, n int) []*Reg {
-	rs := make([]*Reg, n)
-	for i := range rs {
-		rs[i] = NewReg(fmt.Sprintf("%s[%d]", name, i))
-	}
-	return rs
+	return NewRegArrayInit(name, n, Bottom)
 }
 
 // NewRegArrayInit allocates n registers initialized to v.
@@ -64,6 +82,7 @@ func NewRegArrayInit(name string, n int, v Word) []*Reg {
 	rs := make([]*Reg, n)
 	for i := range rs {
 		rs[i] = NewRegInit(fmt.Sprintf("%s[%d]", name, i), v)
+		rs[i].cell = i
 	}
 	return rs
 }
@@ -75,6 +94,7 @@ func NewRegMatrix(name string, n, m int) [][]*Reg {
 		rows[i] = make([]*Reg, m)
 		for j := range rows[i] {
 			rows[i][j] = NewReg(fmt.Sprintf("%s[%d][%d]", name, i, j))
+			rows[i][j].cell = i*m + j
 		}
 	}
 	return rows
@@ -87,6 +107,7 @@ func NewRegMatrixInit(name string, n, m int, v Word) [][]*Reg {
 		rows[i] = make([]*Reg, m)
 		for j := range rows[i] {
 			rows[i][j] = NewRegInit(fmt.Sprintf("%s[%d][%d]", name, i, j), v)
+			rows[i][j].cell = i*m + j
 		}
 	}
 	return rows
@@ -99,6 +120,8 @@ func NewRegMatrixInit(name string, n, m int, v Word) [][]*Reg {
 // An invocation is a single atomic statement.
 type ConsObject struct {
 	name        string
+	id          uint64
+	cell        int
 	c           int
 	invocations int
 	decided     Word
@@ -109,11 +132,29 @@ func NewConsObject(name string, c int) *ConsObject {
 	if c < 1 {
 		panic(fmt.Sprintf("mem: consensus number must be >= 1, got %d", c))
 	}
-	return &ConsObject{name: name, c: c, decided: Bottom}
+	return &ConsObject{name: name, id: HashName(name), cell: -1, c: c, decided: Bottom}
 }
 
 // Name returns the object's diagnostic name.
 func (o *ConsObject) Name() string { return o.name }
+
+// Footprint returns the canonical footprint of one invocation of this
+// object. Invocations are read-modify-writes whose responses depend on
+// order, so the kind is always AccessCons: no two invocations of the
+// same object ever commute.
+func (o *ConsObject) Footprint() Footprint {
+	return Footprint{Obj: o.id, Cell: o.cell, Kind: AccessCons}
+}
+
+// StateHash returns this object's contribution to the memory-state
+// fingerprint: 0 while never invoked, else a stable hash of (id,
+// invocation count, decided value). See Reg.StateHash.
+func (o *ConsObject) StateHash() uint64 {
+	if o.invocations == 0 {
+		return 0
+	}
+	return Mix(Mix(o.id, uint64(o.invocations)), o.decided)
+}
 
 // C returns the object's consensus number.
 func (o *ConsObject) C() int { return o.c }
@@ -143,6 +184,7 @@ func NewConsArray(name string, n, c int) []*ConsObject {
 	os := make([]*ConsObject, n)
 	for i := range os {
 		os[i] = NewConsObject(fmt.Sprintf("%s[%d]", name, i), c)
+		os[i].cell = i
 	}
 	return os
 }

@@ -228,6 +228,30 @@ type BudgetedSwitch struct {
 	Clamped bool
 	// ClampCount counts clamped decisions.
 	ClampCount int
+	// Prune, if non-nil, is consulted at decision points strictly past
+	// the last directed switch — where the rest of the run is a pure
+	// default continuation, so a previously visited equal state provably
+	// has an equal future. (Before that point the pending switch word,
+	// which the state fingerprint cannot see, still steers the run, so
+	// pruning there would be unsound.) Returning true aborts the run.
+	Prune PruneFunc
+	// Budget is the remaining deviation budget reported to Prune.
+	Budget int
+	// Pruned reports that Prune cut the run (Run returned
+	// sim.ErrPickAbort).
+	Pruned bool
+}
+
+// pendingSwitches reports whether any directed switch remains at
+// decision index idx or later.
+func (b *BudgetedSwitch) pendingSwitches(idx int64) bool {
+	//repro:allow maporder existence scan; any-order traversal yields the same boolean
+	for d := range b.SwitchAt {
+		if d >= idx {
+			return true
+		}
+	}
+	return false
 }
 
 // Pick implements sim.Chooser.
@@ -244,6 +268,16 @@ func (b *BudgetedSwitch) Pick(d sim.Decision) int {
 			b.ClampCount++
 		}
 	default:
+		if b.Prune != nil && !b.pendingSwitches(idx) {
+			extra := ^uint64(0)
+			if b.current != nil {
+				extra = uint64(b.current.ID())
+			}
+			if b.Prune(PruneInfo{Decision: d, Taken: b.Taken, Budget: b.Budget, Extra: extra}) {
+				b.Pruned = true
+				return sim.PickAbort
+			}
+		}
 		choice = 0
 		for i, p := range d.Candidates {
 			if p == b.current {

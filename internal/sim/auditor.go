@@ -76,6 +76,7 @@ func (a *Auditor) OnStatement(ev StmtEvent) {
 		return
 	}
 	// Axiom 1: nothing above p may be mid-invocation on p's processor.
+	//repro:allow maporder existence test; iteration order only picks which witness names the diagnostic
 	for q, qs := range a.procs {
 		if q != p && qs.active && q.Processor() == p.Processor() && q.Priority() > p.Priority() {
 			a.fail("step %d: %s (pri %d) ran while %s (pri %d) was ready on processor %d",

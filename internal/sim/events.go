@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/mem"
+
 // Op identifies the kind of atomic statement a process executed.
 type Op int
 
@@ -40,6 +42,28 @@ type StmtEvent struct {
 	Value uint64
 	// Step is the global statement index (set by the kernel).
 	Step int64
+	// Fp is the statement's canonical access footprint.
+	Fp mem.Footprint
+}
+
+// Access describes one executed atomic statement (or crash event) for
+// dependence analysis: which process ran, on which processor, with what
+// footprint. The kernel accumulates accesses between decision points
+// and delivers them in Decision.Since, so a footprint-aware chooser can
+// track which pending statements a just-executed statement conflicts
+// with.
+type Access struct {
+	// Proc is the executing (or crashing) process's id.
+	Proc int
+	// Processor is that process's processor index.
+	Processor int
+	// Fp is the executed statement's footprint (zero for crash events).
+	Fp mem.Footprint
+	// Global marks events that are dependent with everything: invocation
+	// arrivals (the statement also changes scheduler arrival state),
+	// invocation completions (holder slots free, dynamic priorities
+	// apply, operation precedence is established), and crash-stop faults.
+	Global bool
 }
 
 // SchedKind identifies a scheduling event.

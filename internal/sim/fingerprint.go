@@ -1,0 +1,63 @@
+package sim
+
+import "repro/internal/mem"
+
+// Fingerprint returns a deterministic hash of the complete observable
+// system state: shared memory, each process's control point, and the
+// scheduler's quantum bookkeeping. Two runs of the same workload whose
+// fingerprints are equal at a decision point have identical futures for
+// identical remaining decisions, so an explorer may soundly prune one
+// in favor of the other.
+//
+// The components, all derived from deterministic counters (never wall
+// clock, map order, or pointer identity):
+//
+//   - the incremental memory fingerprint (XOR of every touched object's
+//     StateHash — equal memory states hash equally regardless of the
+//     access order that produced them);
+//   - per process, in ID order: lifecycle state, priority, invocation
+//     index, statements within the current invocation, total
+//     statements, and the observation hash of every value it has read —
+//     the stand-in for the process's opaque local state, sound because
+//     invocation bodies are deterministic functions of what they read;
+//   - per process, the scheduler state that steers future grants:
+//     quantum protection, statements since resume while protected, and
+//     whether the process holds its priority level's quantum slot.
+//     With Quantum == 0 protection cannot arise, so holder identity and
+//     resume counters are irrelevant to the future and excluded.
+//
+// Diagnostic statistics that no scheduling rule or explorer verdict
+// reads (Process.Preemptions, Process.MaxInvStmts of completed
+// invocations) are deliberately excluded: including them would split
+// states that are behaviorally identical.
+func (s *System) Fingerprint() uint64 {
+	h := mem.Mix(fingerprintSeed, s.memFP)
+	for _, p := range s.procs {
+		h = mem.Mix(h, uint64(p.state))
+		h = mem.Mix(h, uint64(p.pri))
+		h = mem.Mix(h, uint64(p.invIndex))
+		h = mem.Mix(h, uint64(p.stmtsThisInv))
+		h = mem.Mix(h, uint64(p.stmtsTotal))
+		h = mem.Mix(h, p.obsHash)
+		if s.cfg.Quantum > 0 {
+			sched := uint64(0)
+			if p.protected {
+				sched = 1 | uint64(p.sinceResume)<<2
+			}
+			if s.holders[p.processor][p.pri] == p {
+				sched |= 2
+			}
+			h = mem.Mix(h, sched)
+		}
+	}
+	return h
+}
+
+// MemFingerprint returns the memory-substrate component of the system
+// fingerprint alone: the XOR of every touched shared object's
+// StateHash (registers, CAS words, and consensus decision state).
+func (s *System) MemFingerprint() uint64 { return s.memFP }
+
+// fingerprintSeed domain-separates system fingerprints from raw object
+// ids.
+const fingerprintSeed uint64 = 0x9e3779b97f4a7c15

@@ -1,0 +1,121 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// fpRecorder wraps a chooser and snapshots the system fingerprint at
+// every decision point, giving the test the full fingerprint trajectory
+// of a run.
+type fpRecorder struct {
+	inner sim.Chooser
+	fps   []uint64
+}
+
+func (r *fpRecorder) Pick(d sim.Decision) int {
+	r.fps = append(r.fps, d.Sys.Fingerprint())
+	return r.inner.Pick(d)
+}
+
+// twoWriters builds two single-processor processes that each write a
+// private register several times. The final shared state is independent
+// of the interleaving, which is what the commuting-order tests rely on.
+func twoWriters(ch sim.Chooser, quantum int, val1 mem.Word) *sim.System {
+	sys := sim.New(sim.Config{Processors: 1, Quantum: quantum, Chooser: ch})
+	r0 := mem.NewReg("w0")
+	r1 := mem.NewReg("w1")
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+		AddInvocation(func(c *sim.Ctx) {
+			for k := 0; k < 3; k++ {
+				c.Write(r0, 7)
+			}
+		})
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+		AddInvocation(func(c *sim.Ctx) {
+			for k := 0; k < 3; k++ {
+				c.Write(r1, val1)
+			}
+		})
+	return sys
+}
+
+// TestFingerprintReplayDeterministic replays the same decision vector
+// twice and requires the entire fingerprint trajectory — not just the
+// final state — to be identical, and to actually evolve as statements
+// execute.
+func TestFingerprintReplayDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		rec := &fpRecorder{inner: &sched.Script{Decisions: []int{0, 1, 0, 1}}}
+		sys := twoWriters(rec, 2, 9)
+		if err := sys.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rec.fps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fingerprint diverges at decision %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	changed := false
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[i-1] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("fingerprint constant across the whole run; state changes are invisible")
+	}
+}
+
+// TestFingerprintCommutingOrdersConverge runs the two-writer workload
+// under maximally different interleavings (run-to-completion vs
+// statement-level rotation at Quantum 0) and requires the final
+// fingerprints to agree: the writes touch distinct objects, so order
+// cannot matter, and the memory component is an order-independent XOR.
+func TestFingerprintCommutingOrdersConverge(t *testing.T) {
+	sysA := twoWriters(&sched.RunToCompletion{}, 0, 9)
+	sysB := twoWriters(sched.NewRotate(), 0, 9)
+	if err := sysA.Run(); err != nil {
+		t.Fatalf("Run A: %v", err)
+	}
+	if err := sysB.Run(); err != nil {
+		t.Fatalf("Run B: %v", err)
+	}
+	if sysA.MemFingerprint() != sysB.MemFingerprint() {
+		t.Errorf("memory fingerprints differ across commuting orders: %#x vs %#x",
+			sysA.MemFingerprint(), sysB.MemFingerprint())
+	}
+	if sysA.Fingerprint() != sysB.Fingerprint() {
+		t.Errorf("system fingerprints differ across commuting orders: %#x vs %#x",
+			sysA.Fingerprint(), sysB.Fingerprint())
+	}
+}
+
+// TestFingerprintSeesStateChange requires runs that end in genuinely
+// different shared states to end with different fingerprints.
+func TestFingerprintSeesStateChange(t *testing.T) {
+	sysA := twoWriters(&sched.RunToCompletion{}, 0, 9)
+	sysB := twoWriters(&sched.RunToCompletion{}, 0, 10)
+	if err := sysA.Run(); err != nil {
+		t.Fatalf("Run A: %v", err)
+	}
+	if err := sysB.Run(); err != nil {
+		t.Fatalf("Run B: %v", err)
+	}
+	if sysA.MemFingerprint() == sysB.MemFingerprint() {
+		t.Error("memory fingerprint blind to a differing register value")
+	}
+	if sysA.Fingerprint() == sysB.Fingerprint() {
+		t.Error("system fingerprint blind to a differing register value")
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/mem"
 )
 
 // Run executes the system to completion: it launches every process and
@@ -20,6 +22,7 @@ func (s *System) Run() error {
 	s.ran = true
 
 	for _, p := range s.procs {
+		//repro:allow goroutine baton-passing process shell; the kernel serializes every grant so scheduling stays deterministic
 		go p.run()
 	}
 	// Collect each process's initial yield (thinking, or done for an
@@ -33,7 +36,7 @@ func (s *System) Run() error {
 	for {
 		cands := s.candidates()
 		if crasher != nil && !s.allDone() {
-			if victims := crasher.Crashes(Decision{Candidates: cands, Procs: s.procs, Step: s.steps}); len(victims) > 0 {
+			if victims := crasher.Crashes(Decision{Candidates: cands, Procs: s.procs, Step: s.steps, Sys: s, Since: s.since}); len(victims) > 0 {
 				for _, v := range victims {
 					s.crash(v)
 				}
@@ -52,7 +55,12 @@ func (s *System) Run() error {
 		}
 		idx := 0
 		if len(cands) > 1 {
-			idx = s.cfg.Chooser.Pick(Decision{Candidates: cands, Procs: s.procs, Step: s.steps})
+			idx = s.cfg.Chooser.Pick(Decision{Candidates: cands, Procs: s.procs, Step: s.steps, Sys: s, Since: s.since})
+			s.since = s.since[:0]
+			if idx == PickAbort {
+				s.abortAll()
+				return ErrPickAbort
+			}
 			if idx < 0 || idx >= len(cands) {
 				s.abortAll()
 				return fmt.Errorf("sim: chooser picked %d of %d candidates", idx, len(cands))
@@ -95,6 +103,9 @@ func (s *System) crash(p *Process) {
 		delete(s.holders[p.processor], p.pri)
 	}
 	p.protected = false
+	// A crash is dependent with everything: record it in the access log
+	// so footprint-aware choosers never commute statements across it.
+	s.since = append(s.since, Access{Proc: p.id, Processor: p.processor, Global: true})
 	s.observeSched(SchedEvent{Kind: SchedCrash, Proc: p, Step: s.steps})
 	// Unwind the goroutine: every non-done process is blocked receiving
 	// from fromKernel, and an aborted process sends exactly one final
@@ -165,7 +176,8 @@ func (s *System) processorCandidates(i int) []*Process {
 // protection, invocation completion).
 func (s *System) grant(p *Process) {
 	i, lvl := p.processor, p.pri
-	if p.state == stateThinking {
+	arrived := p.state == stateThinking
+	if arrived {
 		s.observeSched(SchedEvent{Kind: SchedArrive, Proc: p, Step: s.steps})
 		// The arrival statement starts the invocation: mark the process
 		// runnable now so a single-statement invocation (whose next yield
@@ -194,6 +206,18 @@ func (s *System) grant(p *Process) {
 	}
 	p.lastEvent.Step = s.steps
 	s.steps++
+	// Fold the executed statement into the process's observation hash
+	// (its stand-in for opaque local state in System.Fingerprint) and
+	// into the inter-decision access log. Arrivals and invocation
+	// completions additionally change scheduler state, so they are
+	// flagged dependent-with-everything.
+	p.obsHash = mem.Mix(mem.Mix(mem.Mix(p.obsHash, uint64(p.lastEvent.Op)), p.lastEvent.Fp.Obj), p.lastEvent.Value)
+	s.since = append(s.since, Access{
+		Proc:      p.id,
+		Processor: p.processor,
+		Fp:        p.lastEvent.Fp,
+		Global:    arrived || msg.kind != yieldStmt,
+	})
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnStatement(p.lastEvent)
 	}
@@ -205,8 +229,11 @@ func (s *System) consume(p *Process, msg yieldMsg) {
 	switch msg.kind {
 	case yieldStmt:
 		p.state = stateRunnable
+		p.pending = msg.fp
+		p.pendingKnown = true
 	case yieldThinking, yieldDone:
 		wasRunning := p.state == stateRunnable
+		p.pendingKnown = false
 		if msg.kind == yieldThinking {
 			p.state = stateThinking
 		} else {

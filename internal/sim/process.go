@@ -25,6 +25,11 @@ const (
 
 type yieldMsg struct {
 	kind yieldKind
+	// fp is the footprint of the statement the process will execute when
+	// next granted (yieldStmt only). The kernel exposes it to choosers
+	// via Process.NextFootprint, letting them decide which enabled
+	// alternatives commute before committing to an order.
+	fp mem.Footprint
 }
 
 // procState is the kernel's view of a process, derived from its last
@@ -67,6 +72,20 @@ type Process struct {
 	protected   bool // mid-quantum guarantee after a same-priority preemption
 	sinceResume int  // own statements since last same-priority preemption
 	preemptions int  // same-priority preemptions suffered
+
+	// pending is the footprint of the process's next statement, known
+	// once it has yielded mid-invocation (pendingKnown). A thinking
+	// process's first statement is unknown until granted.
+	pending      mem.Footprint
+	pendingKnown bool
+
+	// obsHash accumulates a stable hash of everything the process has
+	// observed from shared memory (op kind, object, value returned or
+	// written, one term per statement). Together with the per-process
+	// statement counters it stands in for the process's opaque local
+	// state in System.Fingerprint: a deterministic invocation body's
+	// future behavior is a function of what it has read so far.
+	obsHash uint64
 
 	// Statistics.
 	invIndex     int
@@ -157,6 +176,17 @@ func (p *Process) Live() bool {
 // suffered.
 func (p *Process) Preemptions() int { return p.preemptions }
 
+// NextFootprint returns the canonical footprint of the statement the
+// process will execute when next granted, and whether it is known. It
+// is known exactly when the process is parked mid-invocation (state
+// runnable, having yielded after a previous statement); a thinking
+// process's first statement is unknown until its arrival is granted.
+// Kernel-side state: safe to read from a Chooser, not from algorithm
+// code.
+func (p *Process) NextFootprint() (mem.Footprint, bool) {
+	return p.pending, p.pendingKnown && p.state == stateRunnable
+}
+
 // CompletedInvocations returns how many invocations the process finished.
 func (p *Process) CompletedInvocations() int { return p.invIndex }
 
@@ -216,44 +246,65 @@ func (c *Ctx) Pri() int { return c.p.pri }
 // Processor returns the index of the processor the process runs on.
 func (c *Ctx) Processor() int { return c.p.processor }
 
-// stmt blocks until the kernel grants one atomic statement.
-func (c *Ctx) stmt() {
+// stmt blocks until the kernel grants one atomic statement. fp is the
+// footprint of the access the statement will perform; it travels with
+// the yield so the kernel knows every parked process's next access
+// before deciding who runs.
+func (c *Ctx) stmt(fp mem.Footprint) {
 	if c.p.aborted {
 		panic(errAborted)
 	}
 	if c.hasGrant {
+		// First statement of the invocation: the arrival grant already
+		// covers it, so the footprint was unknown to the kernel when it
+		// decided (the executed footprint still reaches the access log
+		// via the statement event).
 		c.hasGrant = false
 		return
 	}
-	c.p.toKernel <- yieldMsg{kind: yieldStmt}
+	c.p.toKernel <- yieldMsg{kind: yieldStmt, fp: fp}
 	if <-c.p.fromKernel == grantAbort {
 		c.p.aborted = true
 		panic(errAborted)
 	}
 }
 
+// memDelta folds an object's state-hash change into the system's
+// incremental memory fingerprint (call with the hash before and after
+// the mutation).
+func (c *Ctx) memDelta(before, after uint64) {
+	c.p.sys.memFP ^= before ^ after
+}
+
 // Read atomically reads register r (one statement).
 func (c *Ctx) Read(r *mem.Reg) mem.Word {
-	c.stmt()
+	fp := r.Footprint(mem.AccessRead)
+	c.stmt(fp)
 	v := r.Load()
-	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpRead, Object: r.Name(), Value: v}
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpRead, Object: r.Name(), Value: v, Fp: fp}
 	return v
 }
 
 // Write atomically writes v to register r (one statement).
 func (c *Ctx) Write(r *mem.Reg, v mem.Word) {
-	c.stmt()
+	fp := r.Footprint(mem.AccessWrite)
+	c.stmt(fp)
+	before := r.StateHash()
 	r.Store(v)
-	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpWrite, Object: r.Name(), Value: v}
+	c.memDelta(before, r.StateHash())
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpWrite, Object: r.Name(), Value: v, Fp: fp}
 }
 
 // CCons invokes C-consensus object o with proposal v (one statement) and
 // returns the object's response (the decided value, or ⊥ after the C-th
 // invocation).
 func (c *Ctx) CCons(o *mem.ConsObject, v mem.Word) mem.Word {
-	c.stmt()
+	fp := o.Footprint()
+	c.stmt(fp)
+	before := o.StateHash()
 	out := o.Invoke(v)
-	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpCons, Object: o.Name(), Value: out}
+	c.memDelta(before, o.StateHash())
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpCons, Object: o.Name(), Value: out, Fp: fp}
 	return out
 }
 
@@ -261,21 +312,25 @@ func (c *Ctx) CCons(o *mem.ConsObject, v mem.Word) mem.Word {
 // (one statement). Baseline comparators only; the paper's algorithms use
 // nothing stronger than registers and C-consensus objects.
 func (c *Ctx) CASPrim(o *mem.CASObject, old, new mem.Word) bool {
-	c.stmt()
+	fp := o.Footprint(mem.AccessCons)
+	c.stmt(fp)
+	before := o.StateHash()
 	ok := o.CompareAndSwap(old, new)
+	c.memDelta(before, o.StateHash())
 	v := mem.Word(0)
 	if ok {
 		v = 1
 	}
-	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpCons, Object: o.Name(), Value: v}
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpCons, Object: o.Name(), Value: v, Fp: fp}
 	return ok
 }
 
 // LoadPrim reads primitive CAS object o (one statement).
 func (c *Ctx) LoadPrim(o *mem.CASObject) mem.Word {
-	c.stmt()
+	fp := o.Footprint(mem.AccessRead)
+	c.stmt(fp)
 	v := o.Load()
-	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpRead, Object: o.Name(), Value: v}
+	c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpRead, Object: o.Name(), Value: v, Fp: fp}
 	return v
 }
 
@@ -283,8 +338,9 @@ func (c *Ctx) LoadPrim(o *mem.CASObject) mem.Word {
 // to honor the paper's numbered-statement quantum accounting (e.g. the
 // "v := val" in Fig. 3).
 func (c *Ctx) Local(n int) {
+	fp := mem.Footprint{Cell: -1, Kind: mem.AccessLocal}
 	for i := 0; i < n; i++ {
-		c.stmt()
-		c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpLocal}
+		c.stmt(fp)
+		c.p.lastEvent = StmtEvent{Proc: c.p, Op: OpLocal, Fp: fp}
 	}
 }

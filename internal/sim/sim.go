@@ -64,10 +64,54 @@ type Decision struct {
 	Procs []*Process
 	// Step is the number of statements executed so far.
 	Step int64
+	// Sys is the system being scheduled. Footprint-aware choosers use it
+	// to read the deterministic state fingerprint (Sys.Fingerprint).
+	Sys *System
+	// Since holds the accesses executed since the previous Pick call
+	// (including statements the kernel granted without a decision point,
+	// and crash events), oldest first. The slice is only valid for the
+	// duration of the call; choosers that retain it must copy.
+	Since []Access
 }
 
+// Independent reports whether candidates i and j's next statements
+// commute: executing them in either order reaches the same system
+// state, so a partial-order-reducing explorer need not branch on their
+// relative order. The relation is deliberately conservative:
+//
+//   - both candidates must be parked mid-invocation with known next
+//     footprints (arrivals never commute: they change scheduler state
+//     and their first access is unknown until granted);
+//   - the footprints must commute (distinct objects, or two reads of
+//     the same object; consensus invocations of the same object never
+//     commute — the first invocation decides);
+//   - the candidates must run on different processors, or the quantum
+//     must be 0: with Q > 0, ordering two same-processor grants decides
+//     who preempts whom and therefore who holds quantum protection.
+//
+// Diagnostic counters (Process.Preemptions) are outside the relation:
+// no explorer verdict observes them.
+func (d Decision) Independent(i, j int) bool {
+	p, q := d.Candidates[i], d.Candidates[j]
+	pf, pok := p.NextFootprint()
+	qf, qok := q.NextFootprint()
+	if !pok || !qok {
+		return false
+	}
+	if p.Processor() == q.Processor() && d.Sys.Quantum() > 0 {
+		return false
+	}
+	return pf.Commutes(qf)
+}
+
+// PickAbort is the sentinel a Chooser may return from Pick to terminate
+// the run at this decision point: the kernel unwinds every process and
+// Run returns ErrPickAbort. Reduction-aware explorers use it to cut off
+// schedules whose continuations are provably covered elsewhere.
+const PickAbort = -1
+
 // Chooser resolves scheduling nondeterminism. Pick must return an index
-// into d.Candidates.
+// into d.Candidates, or PickAbort to terminate the run.
 type Chooser interface {
 	Pick(d Decision) int
 }
@@ -127,6 +171,10 @@ var (
 	ErrStepLimit = errors.New("sim: statement limit exceeded")
 	// ErrRunTwice reports a second Run call on the same System.
 	ErrRunTwice = errors.New("sim: system already run")
+	// ErrPickAbort reports that the chooser terminated the run by
+	// returning PickAbort; the run is incomplete by design (a pruned
+	// schedule), not failed.
+	ErrPickAbort = errors.New("sim: run aborted by chooser")
 )
 
 // System is a configured multiprogrammed system: processors, processes,
@@ -140,6 +188,15 @@ type System struct {
 	steps   int64
 	ran     bool
 	failure error
+
+	// memFP is the incremental memory-state fingerprint: the XOR of
+	// every shared object's StateHash, updated by the Ctx accessors as
+	// objects change. Order-independent by construction, so equal memory
+	// states fingerprint equally no matter how they were reached.
+	memFP uint64
+	// since accumulates executed accesses between decision points for
+	// Decision.Since.
+	since []Access
 }
 
 // New returns an empty system with the given configuration.
