@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-json examples experiments soak clean
+.PHONY: all build vet lint test test-short test-race bench bench-json bench-gate examples experiments soak clean
 
 all: build lint test
 
@@ -36,6 +36,11 @@ bench:
 # parallel, shrink candidate replays/sec); format in EXPERIMENTS.md.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_explore.json
+
+# Regression gate: re-time the plain and reduced explore legs and fail
+# if either drops more than 25% below the committed BENCH_explore.json.
+bench-gate:
+	$(GO) run ./cmd/benchjson -gate
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -111,8 +111,8 @@ func main() {
 
 	fmt.Printf("explored %d schedules (truncated=%v)\n", res.Schedules, res.Truncated)
 	if rs := res.Reduction; rs != nil {
-		fmt.Printf("reduction %s: %d sleep-pruned runs, %d sleep-skipped branches, %d fingerprint-pruned runs\n",
-			rs.Mode, rs.SleepPrunedRuns, rs.SleepSkippedBranches, rs.FingerprintPrunedRuns)
+		fmt.Printf("reduction %s: %d sleep-deadlock runs, %d sleep-skipped branches, %d fingerprint-pruned runs\n",
+			rs.Mode, rs.SleepDeadlockRuns, rs.SleepSkippedBranches, rs.FingerprintPrunedRuns)
 		if rs.CacheHits > 0 || rs.CacheEntries > 0 {
 			fmt.Printf("fingerprint cache: %d hits, %d entries, %d evictions\n",
 				rs.CacheHits, rs.CacheEntries, rs.CacheEvictions)

@@ -23,12 +23,22 @@ var replayPackages = []string{
 
 // Determinism flags nondeterminism sources in the replay-sensitive
 // packages: wall-clock reads, unseeded math/rand, goroutine spawns
-// outside the sanctioned worker pools, and map iteration whose order
-// can leak into output. Sanctioned uses carry markers — walltime,
+// outside the sanctioned worker pools, map iteration whose order can
+// leak into output, and GC-coupled object reuse (sync.Pool,
+// runtime.SetFinalizer). Sanctioned uses carry markers — walltime,
 // goroutine, maporder, rand — each with a reason the driver validates.
 // A map range is accepted without a marker in exactly one idiom: a
 // single-statement body appending keys/values to a slice, immediately
 // followed by a sort of that slice (order provably cannot escape).
+//
+// The pooling ban pins the allocation-free replay idiom: reusable
+// buffers are long-lived fields truncated or cleared by an explicit
+// Reset before each run (Script.Reset, Reduced.Reset, System.Reset
+// hooks), so which memory a run reuses is a pure function of the
+// schedule sequence. sync.Pool hands back objects based on per-P
+// caches and GC timing — whether a buffer returns warm or zeroed, and
+// which worker gets whose leftovers, would vary run to run — and
+// finalizers resurrect state on a GC schedule no replay controls.
 var Determinism = &Analyzer{
 	Name:      "determinism",
 	Doc:       "replay-sensitive packages (check, artifact, minimize, trace, sim, sched) must be deterministic functions of their inputs",
@@ -63,7 +73,14 @@ func runDeterminism(pass *Pass) error {
 						pass.Reportf(n.Pos(), "time.%s reads the wall clock in a replay-sensitive package; derive timing from simulation steps or annotate //repro:allow walltime <reason>", name)
 					case pkg == "math/rand" && !seededRandFuncs[name]:
 						pass.Reportf(n.Pos(), "math/rand.%s draws from the shared unseeded source; use rand.New(rand.NewSource(seed)) so replays are reproducible", name)
+					case pkg == "runtime" && name == "SetFinalizer":
+						pass.Reportf(n.Pos(), "runtime.SetFinalizer ties object lifetime to GC timing in a replay-sensitive package; release resources explicitly (Close, Reset) instead")
 					}
+				}
+			case *ast.SelectorExpr:
+				if obj, ok := pass.Info.Uses[n.Sel].(*types.TypeName); ok &&
+					obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
+					pass.Reportf(n.Pos(), "sync.Pool reuse depends on per-P caches and GC timing; pool buffers as long-lived fields with an explicit Reset before each run instead")
 				}
 			case *ast.RangeStmt:
 				if tv, ok := pass.Info.Types[n.X]; ok {

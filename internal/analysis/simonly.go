@@ -24,13 +24,23 @@ var algorithmPackages = []string{
 
 // SimOnly forbids native concurrency and environment access in
 // algorithm packages: importing sync (tests may import sync/atomic for
-// cross-checking the simulator), time, or os, and any go statement or
-// channel type outside test files. There is deliberately no allow
-// marker — an algorithm that "needs" native concurrency is modeling the
-// wrong machine.
+// cross-checking the simulator), time, os, runtime, or iter, and any
+// go statement or channel type outside test files. There is
+// deliberately no allow marker — an algorithm that "needs" native
+// concurrency is modeling the wrong machine.
+//
+// The runtime and iter bans came with the inline coroutine kernel:
+// process bodies now execute on a coroutine resumed from the explorer
+// worker's own goroutine, so a runtime scheduling call (Gosched,
+// LockOSThread, Goexit) from a step function no longer perturbs a
+// dedicated goroutine — it stalls or kills the engine worker driving
+// thousands of other schedules. Likewise a body that builds its own
+// iter.Pull coroutine allocates per run (breaking the pooled
+// zero-alloc replay loop) and leaks the nested coroutine when the
+// kernel aborts the body during System.Close.
 var SimOnly = &Analyzer{
 	Name:      "simonly",
-	Doc:       "algorithm packages run on the simulated machine only: no sync/time/os imports, no go statements, no channels",
+	Doc:       "algorithm packages run on the simulated machine only: no sync/time/os/runtime/iter imports, no go statements, no channels",
 	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, algorithmPackages...) },
 	Run:       runSimOnly,
 }
@@ -52,6 +62,14 @@ func runSimOnly(pass *Pass) error {
 				pass.Reportf(imp.Pos(), "algorithm packages must not import %s; concurrency is simulated through sim.Ctx, never native", path)
 			case path == "time" || path == "os":
 				pass.Reportf(imp.Pos(), "algorithm packages must not import %s; the simulated machine has no wall clock or environment", path)
+			case path == "runtime" || strings.HasPrefix(path, "runtime/"):
+				if !isTest {
+					pass.Reportf(imp.Pos(), "algorithm packages must not import %s; process bodies run inline on an explorer worker, so runtime scheduling calls stall the engine, not a private goroutine", path)
+				}
+			case path == "iter":
+				if !isTest {
+					pass.Reportf(imp.Pos(), "algorithm packages must not import iter; the kernel owns the one coroutine per process, and nested iter.Pull coroutines allocate per run and leak on abort")
+				}
 			}
 		}
 		if isTest {

@@ -4,7 +4,9 @@ package fixture
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -97,6 +99,31 @@ func fingerprintXOR(cells map[int]uint64) uint64 {
 		h ^= v
 	}
 	return h
+}
+
+// GC-coupled reuse breaks the pooled-replay idiom: which buffer a
+// sync.Pool hands back depends on per-P caches and collection timing,
+// so warm-vs-zeroed state would vary run to run. Pool buffers as
+// long-lived fields with an explicit Reset before each run.
+var scratch = sync.Pool{ // want `sync\.Pool reuse depends on per-P caches and GC timing`
+	New: func() any { return new([]int) },
+}
+
+func pooledAppend(x int) {
+	buf := scratch.Get().(*[]int)
+	*buf = append((*buf)[:0], x)
+	scratch.Put(buf)
+}
+
+// The sanctioned pooling shape: the buffer is a field of a long-lived
+// object, truncated by Reset before each reuse — which memory a run
+// sees is a pure function of the run sequence.
+type pooled struct{ buf []int }
+
+func (p *pooled) Reset() { p.buf = p.buf[:0] }
+
+func finalized(p *pooled) {
+	runtime.SetFinalizer(p, func(*pooled) {}) // want `runtime\.SetFinalizer ties object lifetime to GC timing`
 }
 
 // Cache eviction must not draw unseeded randomness to pick a victim:

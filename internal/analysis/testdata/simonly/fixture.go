@@ -4,7 +4,9 @@
 package fixture
 
 import (
+	"iter"        // want `must not import iter`
 	"os"          // want `must not import os`
+	"runtime"     // want `must not import runtime`
 	"sync"        // want `must not import sync`
 	"sync/atomic" // want `must not import sync/atomic outside tests`
 	"time"        // want `must not import time`
@@ -27,4 +29,16 @@ type pipe chan int // want `channel type in an algorithm package`
 
 func sel() {
 	select {} // want `select statement in an algorithm package`
+}
+
+// Under the inline coroutine kernel a process body runs on the explorer
+// worker's goroutine: yielding the native scheduler from a step stalls
+// the engine, and a body-owned coroutine allocates per run and leaks
+// when the kernel aborts it.
+func politeSpin() {
+	runtime.Gosched()
+}
+
+func ownCoroutine() iter.Seq[int] {
+	return func(yield func(int) bool) { yield(1) }
 }

@@ -115,6 +115,10 @@ func buildUnicons(m Meta, ch sim.Chooser, obs sim.Observer) (*sim.System, func(e
 		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%v}).
 			AddInvocation(func(c *sim.Ctx) { outs[i] = obj.Decide(c, mem.Word(i+1)) })
 	}
+	sys.OnReset(func() {
+		obj.Reset()
+		clear(outs)
+	})
 	return sys, verifyAgreement(outs)
 }
 
@@ -125,7 +129,8 @@ func buildMulticons(m Meta, ch sim.Chooser, obs sim.Observer) (*sim.System, func
 	p, mm, v := defInt(m.P, 2), defInt(m.M, 1), defInt(m.V, 1)
 	sys := sim.New(sim.Config{Processors: p, Quantum: m.Quantum, Chooser: ch,
 		MaxSteps: defInt64(m.MaxSteps, 1<<23), Observer: obs})
-	alg := multicons.New(multicons.Config{Name: "f7", P: p, K: m.K, M: mm, V: v})
+	cfg := multicons.Config{Name: "f7", P: p, K: m.K, M: mm, V: v}
+	alg := multicons.New(cfg)
 	outs := make([]mem.Word, p*mm)
 	id := 0
 	for i := 0; i < p; i++ {
@@ -136,6 +141,14 @@ func buildMulticons(m Meta, ch sim.Chooser, obs sim.Observer) (*sim.System, func
 			id++
 		}
 	}
+	// Rebuild-in-hook: the Fig. 7 instance holds per-run decision state
+	// throughout its register tree, so a pooled rerun swaps in a fresh
+	// instance under the same name (identical ids, footprints, and
+	// fingerprints — the invocation closures capture the variable).
+	sys.OnReset(func() {
+		alg = multicons.New(cfg)
+		clear(outs)
+	})
 	return sys, verifyAgreement(outs)
 }
 
@@ -154,6 +167,10 @@ func buildHybridCAS(m Meta, ch sim.Chooser, obs sim.Observer) (*sim.System, func
 		sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%v}).
 			AddInvocation(func(c *sim.Ctx) { wins[i] = obj.CompareAndSwap(c, 0, mem.Word(i+1)) })
 	}
+	sys.OnReset(func() {
+		obj = hybridcas.New("cas", v, 0)
+		clear(wins)
+	})
 	verify := func(runErr error) error {
 		if runErr != nil {
 			return fmt.Errorf("run failed: %w", runErr)
@@ -192,6 +209,10 @@ func buildUniversal(m Meta, ch sim.Chooser, obs sim.Observer) (*sim.System, func
 				completed[i] = true
 			})
 	}
+	sys.OnReset(func() {
+		ctr = universal.NewCounter("ctr", 0)
+		clear(completed)
+	})
 	verify := func(runErr error) error {
 		if runErr != nil {
 			return fmt.Errorf("run failed: %w", runErr)
@@ -230,6 +251,10 @@ func buildLockCounter(m Meta, ch sim.Chooser, obs sim.Observer) (*sim.System, fu
 				completed[i] = true
 			})
 	}
+	sys.OnReset(func() {
+		ctr = baseline.NewLockCounter("lc", 0)
+		clear(completed)
+	})
 	verify := func(runErr error) error {
 		if runErr != nil {
 			return fmt.Errorf("run failed: %w", runErr)
@@ -354,6 +379,15 @@ func buildSoakMix(m Meta, ch sim.Chooser, obs sim.Observer) (*sim.System, func(e
 		}
 	}
 
+	sys.OnReset(func() {
+		cons.Reset()
+		cas = hybridcas.NewReclaiming("cas", v, 0, 2)
+		ctr = universal.NewCounter("ctr", 0)
+		q = universal.NewQueue("q")
+		clear(consOuts)
+		enqs, deqs = 0, 0
+		aud.Reset()
+	})
 	verify := func(runErr error) error {
 		if runErr != nil {
 			return fmt.Errorf("run failed: %w", runErr)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/artifact"
@@ -15,6 +16,16 @@ type Throughput struct {
 	Schedules int     `json:"schedules"`
 	Seconds   float64 `json:"seconds"`
 	PerSec    float64 `json:"schedules_per_sec"`
+	// Steals counts cross-worker deque steals (schema v3; always 0 for
+	// one worker, and timing-dependent otherwise — a diagnostic, not a
+	// determinism-covered result).
+	Steals int64 `json:"steals"`
+	// AllocsPerSchedule is the mean number of heap objects allocated
+	// per schedule over the whole exploration (schema v3), measured
+	// from runtime.MemStats.Mallocs. The pooled steady-state replay
+	// loop allocates nothing; the residue is child work items, the
+	// one-time probe builds, and collector bookkeeping.
+	AllocsPerSchedule float64 `json:"allocs_per_schedule"`
 }
 
 // ShrinkThroughput is one timed run of the counterexample shrinker:
@@ -45,17 +56,22 @@ func ExploreThroughput(parallelism int) (Throughput, error) {
 		return Throughput{}, err
 	}
 	opts := check.Options{Parallelism: parallelism, MaxSchedules: 1 << 22}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	res := check.ExploreBudget(build, exploreBudget, opts)
 	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
 	if res.Truncated || res.Interrupted {
 		return Throughput{}, fmt.Errorf("bench: exploration did not complete (%d schedules)", res.Schedules)
 	}
 	return Throughput{
-		Workers:   parallelism,
-		Schedules: res.Schedules,
-		Seconds:   secs,
-		PerSec:    float64(res.Schedules) / secs,
+		Workers:           parallelism,
+		Schedules:         res.Schedules,
+		Seconds:           secs,
+		PerSec:            float64(res.Schedules) / secs,
+		Steals:            res.Steals,
+		AllocsPerSchedule: float64(after.Mallocs-before.Mallocs) / float64(res.Schedules),
 	}, nil
 }
 
@@ -64,16 +80,34 @@ func ExploreThroughput(parallelism int) (Throughput, error) {
 // (plain schedules / reduced schedules — how many× fewer runs the
 // reductions execute for the same verdict).
 type ReductionBench struct {
-	Workload          string  `json:"workload"`
-	Mode              string  `json:"mode"`
-	PlainSchedules    int     `json:"plain_schedules"`
-	ReducedSchedules  int     `json:"reduced_schedules"`
-	Ratio             float64 `json:"reduction_ratio"`
-	PlainPerSec       float64 `json:"plain_schedules_per_sec"`
-	ReducedPerSec     float64 `json:"reduced_schedules_per_sec"`
-	SleepPrunedRuns   int     `json:"sleep_pruned_runs"`
-	SleepSkipped      int64   `json:"sleep_skipped_branches"`
-	FingerprintPruned int     `json:"fingerprint_pruned_runs"`
+	Workload         string  `json:"workload"`
+	Mode             string  `json:"mode"`
+	PlainSchedules   int     `json:"plain_schedules"`
+	ReducedSchedules int     `json:"reduced_schedules"`
+	Ratio            float64 `json:"reduction_ratio"`
+	PlainPerSec      float64 `json:"plain_schedules_per_sec"`
+	ReducedPerSec    float64 `json:"reduced_schedules_per_sec"`
+	// ReducedRuns is the number of runs the reduced exploration
+	// actually executed (schema v3): completed schedules plus runs the
+	// reductions aborted mid-schedule (fingerprint-pruned and
+	// sleep-deadlocked partial replays). Pruned partial replays are
+	// real executed work — aborting one is how the reduction saves the
+	// rest of its subtree — so per-run cost accounting divides by this,
+	// not by ReducedSchedules.
+	ReducedRuns int `json:"reduced_runs"`
+	// CostRatio is the per-run cost of reduced mode relative to plain
+	// (plain schedules/sec divided by reduced runs/sec, schema v3): how
+	// much each reduced run pays for snapshots, sleep-set upkeep, and
+	// fingerprint-cache visits. Reduction wins overall when CostRatio
+	// is far below reduction_ratio.
+	CostRatio float64 `json:"reduced_cost_ratio"`
+	// SleepDeadlockRuns was misleadingly named sleep_pruned_runs before
+	// schema v3: it counts whole runs aborted because every candidate
+	// was asleep — impossible at N=2, where 0 is the correct value —
+	// not the branch-level savings, which SleepSkipped reports.
+	SleepDeadlockRuns int   `json:"sleep_deadlock_runs"`
+	SleepSkipped      int64 `json:"sleep_skipped_branches"`
+	FingerprintPruned int   `json:"fingerprint_pruned_runs"`
 }
 
 // reductionMeta is the fixed workload timed by MeasureReduction: the
@@ -82,24 +116,40 @@ type ReductionBench struct {
 // completes, adversarial enough that both runs find the violation.
 var reductionMeta = artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 0, MaxSteps: 1 << 16}
 
-// MeasureReduction explores the pinned configuration exhaustively twice
-// — plain and with full reduction — at the given worker count and
-// reports the reduction ratio. Both explorations must agree on the
-// verdict (this configuration violates), or an error is returned: the
-// benchmark doubles as a soundness cross-check.
+// Repeat counts for MeasureReduction. The reduced exploration finishes
+// in single-digit milliseconds, far too short for one shot to time
+// reliably, so both legs repeat a fixed (deterministic) number of times
+// and rates aggregate over the total. The reduced leg repeats more
+// because it is that much shorter.
+const (
+	reductionPlainReps = 3
+	reductionRedReps   = 20
+)
+
+// MeasureReduction explores the pinned configuration exhaustively —
+// plain and with full reduction, each repeated a fixed number of times
+// — at the given worker count and reports the reduction ratio. Both
+// explorations must agree on the verdict (this configuration
+// violates), or an error is returned: the benchmark doubles as a
+// soundness cross-check.
 func MeasureReduction(parallelism int) (ReductionBench, error) {
 	build, err := check.BuilderFor(reductionMeta)
 	if err != nil {
 		return ReductionBench{}, err
 	}
 	opts := check.Options{Parallelism: parallelism, MaxSchedules: 1 << 22}
+	var plain, red *check.Result
 	start := time.Now()
-	plain := check.ExploreAll(build, opts)
-	plainSecs := time.Since(start).Seconds()
+	for i := 0; i < reductionPlainReps; i++ {
+		plain = check.ExploreAll(build, opts)
+	}
+	plainSecs := time.Since(start).Seconds() / reductionPlainReps
 	opts.Reduction = check.ReductionFull
 	start = time.Now()
-	red := check.ExploreAll(build, opts)
-	redSecs := time.Since(start).Seconds()
+	for i := 0; i < reductionRedReps; i++ {
+		red = check.ExploreAll(build, opts)
+	}
+	redSecs := time.Since(start).Seconds() / reductionRedReps
 	for _, r := range []*check.Result{plain, red} {
 		if r.Truncated || r.Interrupted {
 			return ReductionBench{}, fmt.Errorf("bench: reduction exploration did not complete (%d schedules)", r.Schedules)
@@ -109,15 +159,19 @@ func MeasureReduction(parallelism int) (ReductionBench, error) {
 		return ReductionBench{}, fmt.Errorf("bench: reduction changed the verdict: plain %d violations, reduced %d",
 			plain.ViolationsTotal, red.ViolationsTotal)
 	}
+	redRuns := red.Schedules + red.Reduction.FingerprintPrunedRuns + red.Reduction.SleepDeadlockRuns
+	plainPerSec := float64(plain.Schedules) / plainSecs
 	return ReductionBench{
 		Workload:          reductionMeta.Workload,
 		Mode:              check.ReductionFull.String(),
 		PlainSchedules:    plain.Schedules,
 		ReducedSchedules:  red.Schedules,
 		Ratio:             float64(plain.Schedules) / float64(red.Schedules),
-		PlainPerSec:       float64(plain.Schedules) / plainSecs,
+		PlainPerSec:       plainPerSec,
 		ReducedPerSec:     float64(red.Schedules) / redSecs,
-		SleepPrunedRuns:   red.Reduction.SleepPrunedRuns,
+		ReducedRuns:       redRuns,
+		CostRatio:         plainPerSec / (float64(redRuns) / redSecs),
+		SleepDeadlockRuns: red.Reduction.SleepDeadlockRuns,
 		SleepSkipped:      red.Reduction.SleepSkippedBranches,
 		FingerprintPruned: red.Reduction.FingerprintPrunedRuns,
 	}, nil

@@ -21,10 +21,23 @@
 //
 // All three explorers fan work out over Options.Parallelism worker
 // goroutines (default runtime.NumCPU()). ExploreAll and ExploreBudget
-// partition the schedule tree: workers claim disjoint decision-vector
-// subtrees from a shared work queue (a subtree hand-off is a pure
-// replay prefix, so no run state crosses workers). Fuzz shards the seed
-// range over workers via an atomic counter.
+// partition the schedule tree: each worker owns a Chase–Lev
+// work-stealing deque of decision-vector subtrees, pushing and popping
+// children LIFO at the bottom and stealing the shallowest (largest)
+// subtree from another worker's top only when its own deque runs dry
+// (a subtree hand-off is a pure replay prefix, so no run state crosses
+// workers; Result.Steals counts the hand-offs). Fuzz shards the seed
+// range over workers via an atomic counter. Parallelism: 1 bypasses
+// the worker pool and all cross-worker machinery entirely — the
+// frontier is a plain stack on the calling goroutine — so sequential
+// exploration pays no parallelism tax.
+//
+// Per-run cost: each worker pools one built system across all the
+// schedules it executes when the builder constructs a reusable system
+// (one with sim.System.OnReset hooks — every registered artifact
+// workload); the steady-state replay loop then performs no heap
+// allocation. Builders without reset hooks fall back to one fresh
+// build per run.
 //
 // Builder reentrancy contract: because the Builder is called
 // concurrently by the workers, it must be reentrant — every shared
@@ -273,6 +286,12 @@ type Result struct {
 	// a distinct property error — or the WaitFreeBound check firing on
 	// the aborted run — still does.
 	StepLimited int
+	// Steals counts work items taken from another worker's deque during
+	// parallel exploration (always 0 for Parallelism 1, whose frontier
+	// is a plain stack, and for Fuzz, which shards seeds instead). A
+	// diagnostic only: it varies run-to-run with worker timing and
+	// carries no determinism guarantee.
+	Steals int64
 	// Interrupted reports whether Options.Context was cancelled before
 	// the exploration completed; Schedules then covers only the runs
 	// finished before cancellation.

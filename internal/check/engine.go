@@ -54,6 +54,7 @@ type collector struct {
 	violTotal   atomic.Int64
 	aliased     atomic.Int64
 	stepLimited atomic.Int64
+	steals      atomic.Int64 // work items taken from another worker's deque
 
 	// Reduction tallies (zero when Options.Reduction is ReductionNone).
 	redSleepPruned  atomic.Int64
@@ -134,7 +135,7 @@ func (c *collector) release() {
 func (c *collector) reductionStats(mode Reduction, cache *fpCache) *ReductionStats {
 	rs := &ReductionStats{
 		Mode:                  mode.String(),
-		SleepPrunedRuns:       int(c.redSleepPruned.Load()),
+		SleepDeadlockRuns:     int(c.redSleepPruned.Load()),
 		SleepSkippedBranches:  c.redSleepSkipped.Load(),
 		FingerprintPrunedRuns: int(c.redFPPruned.Load()),
 	}
@@ -237,13 +238,14 @@ func (c *collector) waitFree(sys *sim.System) error {
 
 // protectedRun invokes f, converting a panic anywhere in the builder,
 // the run, or the verifier into a violation error so one bad schedule
-// cannot kill the whole exploration. schedule names the run for the
-// error text.
-func protectedRun(schedule string, f func() error) (verr error, panicked bool) {
+// cannot kill the whole exploration. describe names the run for the
+// error text; it is invoked only on panic, which keeps schedule-string
+// formatting off the hot path.
+func protectedRun(describe func() string, f func() error) (verr error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
-			verr = fmt.Errorf("check: panic on schedule %s: %v\n%s", schedule, r, debug.Stack())
+			verr = fmt.Errorf("check: panic on schedule %s: %v\n%s", describe(), r, debug.Stack())
 		}
 	}()
 	return f(), false
@@ -256,6 +258,7 @@ func (c *collector) result() *Result {
 		Truncated:       c.truncated.Load(),
 		Aliased:         int(c.aliased.Load()),
 		StepLimited:     int(c.stepLimited.Load()),
+		Steals:          c.steals.Load(),
 		Interrupted:     c.interrupted.Load(),
 	}
 	viols := c.viols
@@ -269,93 +272,101 @@ func (c *collector) result() *Result {
 	return res
 }
 
-// workQueue is the shared LIFO frontier of schedule subtrees. pop blocks
-// until an item is available and returns false when the queue is closed
-// or globally drained (no items queued and none in flight). Workers must
-// push an item's children before calling done on the item, so the
-// drained condition never fires while reachable work remains.
-type workQueue[T any] struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	items    []T
-	inflight int
-	closed   bool
+// chooserSlot lets a pooled system swap per-schedule choosers without
+// rebuilding: the probe build wires the system's Config.Chooser to the
+// slot (possibly wrapped, e.g. by a crash injector), and the worker
+// points the slot at each schedule's chooser before each rerun. The
+// slot implements sim.Crasher by delegation and reports via
+// CrashesArmed whether the inner chooser can actually inject faults, so
+// the kernel skips the per-step Crashes call for ordinary choosers.
+type chooserSlot struct {
+	ch      sim.Chooser
+	crasher sim.Crasher
 }
 
-func newWorkQueue[T any]() *workQueue[T] {
-	q := &workQueue[T]{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+func (s *chooserSlot) set(ch sim.Chooser) {
+	s.ch = ch
+	s.crasher, _ = ch.(sim.Crasher)
 }
 
-func (q *workQueue[T]) push(items ...T) {
-	if len(items) == 0 {
-		return
+// Pick implements sim.Chooser.
+func (s *chooserSlot) Pick(d sim.Decision) int { return s.ch.Pick(d) }
+
+// Crashes implements sim.Crasher.
+func (s *chooserSlot) Crashes(d sim.Decision) []*sim.Process {
+	if s.crasher == nil {
+		return nil
 	}
-	q.mu.Lock()
-	q.items = append(q.items, items...)
-	q.mu.Unlock()
-	q.cond.Broadcast()
+	return s.crasher.Crashes(d)
 }
 
-func (q *workQueue[T]) pop() (T, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if q.closed || (len(q.items) == 0 && q.inflight == 0) {
-			var zero T
-			return zero, false
+// CrashesArmed reports whether the current inner chooser can inject
+// faults (see sim.Config.Chooser's crash-arming protocol).
+func (s *chooserSlot) CrashesArmed() bool {
+	if s.crasher == nil {
+		return false
+	}
+	if ca, ok := s.crasher.(interface{ CrashesArmed() bool }); ok {
+		return ca.CrashesArmed()
+	}
+	return true
+}
+
+// runner executes one schedule after another for a single worker,
+// pooling the built system across replays when the builder constructs
+// a reusable one (a system with sim.System.OnReset hooks registered —
+// every registered artifact workload). The first run probes: the
+// system is built once around a chooserSlot; if it reports Reusable,
+// every later run swaps the slot to that schedule's chooser and Resets
+// the system instead of rebuilding, which eliminates all steady-state
+// allocation (shared objects, register files, processes, coroutine
+// stacks). Builders that register no reset hooks keep the historical
+// build-per-run behaviour — and its build-count semantics, on which
+// alias detection for non-reentrant builders relies.
+type runner struct {
+	build  Builder
+	slot   chooserSlot
+	sys    *sim.System
+	verify Verify
+	probed bool
+	pooled bool
+}
+
+func newRunner(build Builder) *runner { return &runner{build: build} }
+
+// run executes one schedule under ch on the pooled or a fresh system.
+func (r *runner) run(ch sim.Chooser) (*sim.System, Verify, error) {
+	if r.pooled {
+		r.slot.set(ch)
+		r.sys.Reset()
+		return r.sys, r.verify, r.sys.Run()
+	}
+	if !r.probed {
+		r.probed = true
+		r.slot.set(ch)
+		sys, verify := r.build(&r.slot)
+		if sys.Reusable() {
+			r.pooled, r.sys, r.verify = true, sys, verify
 		}
-		if n := len(q.items); n > 0 {
-			item := q.items[n-1]
-			q.items = q.items[:n-1]
-			q.inflight++
-			return item, true
-		}
-		q.cond.Wait()
+		return sys, verify, sys.Run()
 	}
+	sys, verify := r.build(ch)
+	return sys, verify, sys.Run()
 }
 
-func (q *workQueue[T]) done() {
-	q.mu.Lock()
-	q.inflight--
-	drained := q.inflight == 0 && len(q.items) == 0
-	q.mu.Unlock()
-	if drained {
-		q.cond.Broadcast()
+// invalidate discards the pooled system after a panic left it in an
+// unknown state; the next run re-probes from a fresh build.
+func (r *runner) invalidate() {
+	if r.sys != nil {
+		r.sys.Close()
 	}
+	r.probed, r.pooled, r.sys, r.verify = false, false, nil, nil
 }
 
-func (q *workQueue[T]) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// explore runs process over queue items on opts.parallelism() workers
-// until the queue drains or the collector cancels.
-func explore[T any](c *collector, q *workQueue[T], parallelism int, process func(item T)) {
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		//repro:allow goroutine sanctioned explorer worker pool; the collector merges results in canonical schedule order
-		go func() {
-			defer wg.Done()
-			for {
-				if c.stopped() {
-					q.close()
-				}
-				item, ok := q.pop()
-				if !ok {
-					return
-				}
-				process(item)
-				q.done()
-			}
-		}()
-	}
-	wg.Wait()
+// prefixItem identifies one plain-ExploreAll subtree: the schedule at
+// its root is prefix followed by implicit zeros.
+type prefixItem struct {
+	prefix []int
 }
 
 // ExploreAll exhaustively enumerates the full schedule tree (every
@@ -367,33 +378,47 @@ func ExploreAll(build Builder, opts Options) *Result {
 		return exploreAllReduced(build, opts)
 	}
 	c := newCollector(opts)
-	q := newWorkQueue[[]int]()
-	q.push([]int{})
-	explore(c, q, opts.parallelism(), func(prefix []int) {
-		exploreAllItem(build, c, q, prefix)
+	explore(c, &prefixItem{}, opts.parallelism(), func() func(*prefixItem, func(*prefixItem)) {
+		w := &allWorker{c: c, r: newRunner(build), script: &sched.Script{}}
+		return w.process
 	})
 	return c.result()
 }
 
-// exploreAllItem executes the schedule at the root of the subtree
-// identified by prefix (prefix followed by implicit zeros) and seeds the
-// queue with the subtree's immediate sub-subtrees: every single-point
-// deviation at or after len(prefix). Together with this run those
-// exactly cover the subtree, so each schedule is executed once.
-func exploreAllItem(build Builder, c *collector, q *workQueue[[]int], prefix []int) {
+// allWorker is one plain-ExploreAll worker's pooled state: the system
+// runner, the replay script, and a scratch decision buffer, all reused
+// across every schedule the worker executes.
+type allWorker struct {
+	c      *collector
+	r      *runner
+	script *sched.Script
+	taken  []int
+}
+
+// process executes the schedule at the root of the subtree identified
+// by item.prefix (prefix followed by implicit zeros) and pushes the
+// subtree's immediate sub-subtrees: every single-point deviation at or
+// after len(prefix). Together with this run those exactly cover the
+// subtree, so each schedule is executed once.
+func (w *allWorker) process(item *prefixItem, push func(*prefixItem)) {
+	c := w.c
 	if !c.claim() {
 		return
 	}
-	script := &sched.Script{Decisions: prefix}
-	schedule := fmt.Sprintf("decisions=%v", prefix)
-	verr, panicked := protectedRun(schedule, func() error {
-		sys, verify := build(script)
-		runErr := sys.Run()
+	prefix := item.prefix
+	script := w.script
+	script.Reset(prefix)
+	describe := func() string { return fmt.Sprintf("decisions=%v", prefix) }
+	verr, panicked := protectedRun(describe, func() error {
+		sys, verify, runErr := w.r.run(script)
 		if script.Clamped || len(script.Fanouts) < len(prefix) {
 			return nil // aliased; detected below from the script state
 		}
 		return c.outcome(sys, verify, runErr)
 	})
+	if panicked {
+		w.r.invalidate()
+	}
 	if !panicked && (script.Clamped || len(script.Fanouts) < len(prefix)) {
 		// The replay aliased a different decision vector (possible only
 		// for builders that are not deterministic functions of the
@@ -411,7 +436,7 @@ func exploreAllItem(build Builder, c *collector, q *workQueue[[]int], prefix []i
 		if !panicked {
 			dec = canonDecisions(prefix)
 		}
-		c.violation(key, schedule, verr, dec)
+		c.violation(key, describe(), verr, dec)
 	}
 	c.count()
 	// After a panic the script's fan-out record is unreliable, so the
@@ -420,18 +445,41 @@ func exploreAllItem(build Builder, c *collector, q *workQueue[[]int], prefix []i
 	if c.stopped() || panicked {
 		return
 	}
-	taken := make([]int, len(script.Fanouts))
-	copy(taken, prefix)
-	// Children in descending canonical order: the queue is a LIFO, so
-	// the lexicographically smallest subtree is popped first and a
-	// single worker reproduces the sequential enumeration order exactly.
-	var children [][]int
+	taken := append(w.taken[:0], prefix...)
+	for len(taken) < len(script.Fanouts) {
+		taken = append(taken, 0)
+	}
+	w.taken = taken
+	// Children in descending canonical order: pops come LIFO off the
+	// bottom of the frontier, so the lexicographically smallest subtree
+	// is popped first and a single worker reproduces the sequential
+	// enumeration order exactly. Children are slab-allocated — exact
+	// capacities sized by a counting pass, so the fill appends never
+	// reallocate, item pointers and prefix subslices stay stable, and
+	// the whole frontier of one schedule costs two heap objects. The
+	// three-index subslicing keeps each child's prefix detached from
+	// its neighbors' (appends force a copy).
+	children, prefixInts := 0, 0
 	for i := len(prefix); i < len(taken); i++ {
-		for choice := script.Fanouts[i] - 1; choice >= 1; choice-- {
-			children = append(children, append(taken[:i:i], choice))
+		if n := script.Fanouts[i] - 1; n > 0 {
+			children += n
+			prefixInts += n * (i + 1)
 		}
 	}
-	q.push(children...)
+	if children == 0 {
+		return
+	}
+	items := make([]prefixItem, 0, children)
+	prefixSlab := make([]int, 0, prefixInts)
+	for i := len(prefix); i < len(taken); i++ {
+		for choice := script.Fanouts[i] - 1; choice >= 1; choice-- {
+			ps := len(prefixSlab)
+			prefixSlab = append(prefixSlab, taken[:i]...)
+			prefixSlab = append(prefixSlab, choice)
+			items = append(items, prefixItem{prefix: prefixSlab[ps:len(prefixSlab):len(prefixSlab)]})
+			push(&items[len(items)-1])
+		}
+	}
 }
 
 // switchPoint is one directed deviation of an ExploreBudget schedule.
@@ -462,11 +510,18 @@ func ExploreBudget(build Builder, budget int, opts Options) *Result {
 	var cache *fpCache
 	if opts.Reduction.fingerprints() {
 		cache = newFPCache(opts.reductionCache())
+		cache.noLock = opts.parallelism() == 1
 	}
-	q := newWorkQueue[budgetItem]()
-	q.push(budgetItem{budget: budget})
-	explore(c, q, opts.parallelism(), func(item budgetItem) {
-		exploreBudgetItem(build, c, q, cache, item)
+	explore(c, &budgetItem{budget: budget}, opts.parallelism(), func() func(*budgetItem, func(*budgetItem)) {
+		w := &budgetWorker{c: c, r: newRunner(build), ch: &sched.BudgetedSwitch{}}
+		if cache != nil {
+			// The chooser consults the cache only past the last directed
+			// switch, where the run is a pure default continuation from a
+			// state the fingerprint fully identifies (plus the chooser's
+			// current-process steering, folded in via PruneInfo.Extra).
+			w.ch.Prune = cache.pruneFunc()
+		}
+		return w.process
 	})
 	res := c.result()
 	if opts.Reduction != ReductionNone {
@@ -475,29 +530,29 @@ func ExploreBudget(build Builder, budget int, opts Options) *Result {
 	return res
 }
 
-func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], cache *fpCache, item budgetItem) {
+// budgetWorker is one ExploreBudget worker's pooled state.
+type budgetWorker struct {
+	c  *collector
+	r  *runner
+	ch *sched.BudgetedSwitch
+}
+
+func (w *budgetWorker) process(item *budgetItem, push func(*budgetItem)) {
+	c := w.c
 	if !c.claim() {
 		return
 	}
-	switches := make(map[int64]int, len(item.switches))
+	ch := w.ch
+	ch.Reset(item.budget)
 	for _, sw := range item.switches {
-		switches[sw.d] = sw.choice
+		ch.SwitchAt[sw.d] = sw.choice
 	}
-	ch := &sched.BudgetedSwitch{SwitchAt: switches, Budget: item.budget}
-	if cache != nil {
-		// The chooser consults the cache only past the last directed
-		// switch, where the run is a pure default continuation from a
-		// state the fingerprint fully identifies (plus the chooser's
-		// current-process steering, folded in via PruneInfo.Extra).
-		ch.Prune = cache.pruneFunc()
-	}
-	schedule := fmt.Sprintf("switches=%v", switches)
+	describe := func() string { return fmt.Sprintf("switches=%v", ch.SwitchAt) }
 	aliased := func() bool {
 		return ch.Clamped || (len(item.switches) > 0 && item.switches[len(item.switches)-1].d >= ch.Decision)
 	}
-	verr, panicked := protectedRun(schedule, func() error {
-		sys, verify := build(ch)
-		runErr := sys.Run()
+	verr, panicked := protectedRun(describe, func() error {
+		sys, verify, runErr := w.r.run(ch)
 		if errors.Is(runErr, sim.ErrPickAbort) {
 			return nil // pruned, not an outcome
 		}
@@ -506,12 +561,15 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], ca
 		}
 		return c.outcome(sys, verify, runErr)
 	})
+	if panicked {
+		w.r.invalidate()
+	}
 	if !panicked && aliased() {
 		// A clamped or never-reached switch means the replay aliased a
 		// schedule with a different switch word (non-reentrant builder);
-		// skip it rather than double-count (see exploreAllItem). A pruned
-		// run cannot look aliased: pruning fires only past the last
-		// directed switch, so every switch was reached.
+		// skip it rather than double-count (see allWorker.process). A
+		// pruned run cannot look aliased: pruning fires only past the
+		// last directed switch, so every switch was reached.
 		c.unclaim()
 		return
 	}
@@ -524,11 +582,11 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], ca
 		if !panicked {
 			dec = canonDecisions(ch.Taken)
 		}
-		c.violation(key, schedule, verr, dec)
+		c.violation(key, describe(), verr, dec)
 	}
 	if ch.Pruned && !panicked {
 		// A pruned run is a covered partial replay, not a schedule (see
-		// exploreAllReducedItem); its completed decisions still seed
+		// redWorker.process); its completed decisions still seed
 		// children below, and deviations at or after the prune point are
 		// covered by the cached visitor.
 		c.release()
@@ -536,29 +594,27 @@ func exploreBudgetItem(build Builder, c *collector, q *workQueue[budgetItem], ca
 	} else {
 		c.count()
 	}
-	// See exploreAllItem: no descent below a panicked schedule.
+	// See allWorker.process: no descent below a panicked schedule.
 	if c.stopped() || panicked || item.budget == 0 {
 		return
 	}
 	taken := ch.Taken
-	// Children in descending canonical order (see exploreAllItem). The
-	// loop runs over decisions with a recorded choice — for a pruned run
-	// that excludes the abort decision, whose deviations the cached
+	// Children in descending canonical order (see allWorker.process).
+	// The loop runs over decisions with a recorded choice — for a pruned
+	// run that excludes the abort decision, whose deviations the cached
 	// visitor covers.
-	var children []budgetItem
 	for d := int64(len(taken)) - 1; d >= item.minIndex; d-- {
 		for choice := ch.Fanouts[d] - 1; choice >= 0; choice-- {
 			if choice == taken[d] {
 				continue
 			}
-			children = append(children, budgetItem{
+			push(&budgetItem{
 				switches: append(item.switches[:len(item.switches):len(item.switches)], switchPoint{d: d, choice: choice}),
 				budget:   item.budget - 1,
 				minIndex: d + 1,
 			})
 		}
 	}
-	q.push(children...)
 }
 
 // Fuzz runs nSeeds seeded pseudo-random schedules, sharding the seed
@@ -576,6 +632,12 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 		//repro:allow goroutine sanctioned fuzz worker pool; seeds partition by atomic counter and results merge in canonical seed order
 		go func() {
 			defer wg.Done()
+			r := newRunner(build)
+			rng := sched.NewRandom(0)
+			var rec *sched.Record
+			if c.opts.needDecisions() {
+				rec = sched.NewRecord(rng)
+			}
 			for {
 				if c.stopped() {
 					return
@@ -584,24 +646,26 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 				if seed >= n {
 					return
 				}
-				schedule := fmt.Sprintf("seed=%d", seed)
-				var rec *sched.Record
-				var ch sim.Chooser = sched.NewRandom(seed)
-				if c.opts.needDecisions() {
-					rec = sched.NewRecord(ch)
+				rng.Reseed(seed)
+				var ch sim.Chooser = rng
+				if rec != nil {
+					rec.Reset(rng)
 					ch = rec
 				}
-				verr, panicked := protectedRun(schedule, func() error {
-					sys, verify := build(ch)
-					runErr := sys.Run()
+				describe := func() string { return fmt.Sprintf("seed=%d", seed) }
+				verr, panicked := protectedRun(describe, func() error {
+					sys, verify, runErr := r.run(ch)
 					return c.outcome(sys, verify, runErr)
 				})
+				if panicked {
+					r.invalidate()
+				}
 				if verr != nil {
 					var dec []int
 					if rec != nil && !panicked {
 						dec = canonDecisions(rec.Taken)
 					}
-					c.violation(schedKey{seed}, schedule, verr, dec)
+					c.violation(schedKey{seed}, describe(), verr, dec)
 				}
 				c.count()
 			}

@@ -22,13 +22,21 @@ func BuilderFor(meta artifact.Meta) (Builder, error) {
 		return nil, fmt.Errorf("check: unknown workload %q (have %v)", meta.Workload, artifact.Workloads())
 	}
 	return func(ch sim.Chooser) (*sim.System, Verify) {
+		var cr *sched.Crash
 		if len(meta.Crashes) > 0 {
-			ch = sched.NewCrash(ch, meta.Crashes...)
+			cr = sched.NewCrash(ch, meta.Crashes...)
+			ch = cr
 		}
 		sys, verify, err := artifact.Build(meta, ch, nil)
 		if err != nil {
 			// Unreachable: the workload was validated above.
 			panic(err)
+		}
+		if cr != nil && sys.Reusable() {
+			// The crash plan must rearm on every pooled rerun. Gated on
+			// Reusable: OnReset itself marks a system reusable, and a
+			// workload without its own reset hooks must not be pooled.
+			sys.OnReset(cr.Reset)
 		}
 		return sys, Verify(verify)
 	}, nil

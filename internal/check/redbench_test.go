@@ -1,0 +1,51 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+func BenchmarkRedPlain(b *testing.B) {
+	build, _ := BuilderFor(artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 0, MaxSteps: 1 << 16})
+	b.ResetTimer()
+	sched := 0
+	for i := 0; i < b.N; i++ {
+		res := ExploreAll(build, Options{Parallelism: 1, MaxSchedules: 1 << 22})
+		sched += res.Schedules
+	}
+	b.ReportMetric(float64(sched)/b.Elapsed().Seconds(), "sched/s")
+}
+
+func BenchmarkRedFull(b *testing.B) {
+	build, _ := BuilderFor(artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 0, MaxSteps: 1 << 16})
+	b.ResetTimer()
+	sched := 0
+	for i := 0; i < b.N; i++ {
+		res := ExploreAll(build, Options{Parallelism: 1, MaxSchedules: 1 << 22, Reduction: ReductionFull})
+		sched += res.Schedules
+	}
+	b.ReportMetric(float64(sched)/b.Elapsed().Seconds(), "sched/s")
+}
+
+func BenchmarkRedSleep(b *testing.B) {
+	build, _ := BuilderFor(artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 0, MaxSteps: 1 << 16})
+	b.ResetTimer()
+	sched := 0
+	for i := 0; i < b.N; i++ {
+		res := ExploreAll(build, Options{Parallelism: 1, MaxSchedules: 1 << 22, Reduction: ReductionSleepSet})
+		sched += res.Schedules
+	}
+	b.ReportMetric(float64(sched)/b.Elapsed().Seconds(), "sched/s")
+}
+
+func BenchmarkRedFP(b *testing.B) {
+	build, _ := BuilderFor(artifact.Meta{Workload: "unicons", N: 2, V: 1, Quantum: 0, MaxSteps: 1 << 16})
+	b.ResetTimer()
+	sched := 0
+	for i := 0; i < b.N; i++ {
+		res := ExploreAll(build, Options{Parallelism: 1, MaxSchedules: 1 << 22, Reduction: ReductionFingerprint})
+		sched += res.Schedules
+	}
+	b.ReportMetric(float64(sched)/b.Elapsed().Seconds(), "sched/s")
+}

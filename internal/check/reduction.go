@@ -82,10 +82,22 @@ func ParseReduction(s string) (Reduction, error) {
 type ReductionStats struct {
 	// Mode is the Reduction the exploration ran with.
 	Mode string
-	// SleepPrunedRuns counts runs aborted because every enabled
-	// candidate was asleep: the whole continuation was covered by
-	// earlier sibling subtrees.
-	SleepPrunedRuns int
+	// SleepDeadlockRuns counts runs aborted mid-schedule because every
+	// enabled candidate was asleep (sched.Reduced.SleepDeadlock): the
+	// whole continuation was covered by earlier sibling subtrees. This
+	// was misleadingly reported as sleep_pruned_runs before bench
+	// schema v3; virtually all sleep-set savings are skipped branches
+	// (SleepSkippedBranches), and 0 here is the expected value: a
+	// deadlock needs EVERY candidate asleep, but the process granted
+	// the preceding statement is never asleep (running a process wakes
+	// its own entries, and branches are only spawned to awake
+	// candidates), so as long as it stays enabled there is an awake
+	// candidate, and when it departs — invocation end, completion,
+	// crash — the access is globally dependent and wakes everyone. Only
+	// a workload whose running process blocks mid-invocation without a
+	// globally-dependent access could trigger it; no registered
+	// workload does.
+	SleepDeadlockRuns int
 	// SleepSkippedBranches counts subtree children never spawned because
 	// the branch candidate was asleep at its decision point.
 	SleepSkippedBranches int64
@@ -127,20 +139,58 @@ type fpEntry struct {
 // verdicts) can vary run-to-run; Parallelism: 1 restores byte-identical
 // counts.
 type fpCache struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	// noLock elides the mutex on the single-worker path (Parallelism
+	// 1), where visit() is on the per-decision hot loop and even an
+	// uncontended lock pair is measurable.
+	noLock    bool
 	capacity  int
-	entries   map[uint64]*fpEntry
+	entries   map[uint64]fpEntry
 	order     []uint64 // FIFO insertion ring
 	head      int
 	hits      int64
 	evictions int64
+	// keyChunk is the current slab for entry key copies: keys are
+	// immutable once inserted (the replace path reuses the entry's own
+	// slice), so carving them out of shared chunks cuts one heap object
+	// per visited state to 1/keyChunkSize amortized. FIFO eviction
+	// retires keys in roughly insertion order, so dead keys cluster in
+	// the oldest chunks and a chunk is collected once its window of
+	// entries has been evicted.
+	keyChunk []int
 }
 
+const keyChunkSize = 4096
+
 func newFPCache(capacity int) *fpCache {
+	// The map is NOT pre-sized to capacity: the default cap is 2^20
+	// entries, and clearing that many empty buckets up front costs more
+	// than entire small explorations (it was 75% of reduced-mode CPU on
+	// the bench workload). capacity only bounds eviction; the map grows
+	// to fit actual use.
+	hint := capacity / 4
+	if hint > 1024 {
+		hint = 1024
+	}
 	return &fpCache{
 		capacity: capacity,
-		entries:  make(map[uint64]*fpEntry, capacity/4),
+		entries:  make(map[uint64]fpEntry, hint),
 	}
+}
+
+// putKey copies key into the current chunk, returning a stable
+// full-capacity subslice.
+func (c *fpCache) putKey(key []int) []int {
+	if len(c.keyChunk)+len(key) > cap(c.keyChunk) {
+		n := keyChunkSize
+		if len(key) > n {
+			n = len(key)
+		}
+		c.keyChunk = make([]int, 0, n)
+	}
+	ks := len(c.keyChunk)
+	c.keyChunk = append(c.keyChunk, key...)
+	return c.keyChunk[ks:len(c.keyChunk):len(c.keyChunk)]
 }
 
 // compareKey orders taken-decision vectors lexicographically with a
@@ -219,8 +269,10 @@ func sleepSubset(a, b []sched.SleepEntry) bool {
 //   - hit with a strictly larger key: the current run is the more
 //     canonical visitor; it replaces the entry and continues.
 func (c *fpCache) visit(fp uint64, taken []int, sleep []sched.SleepEntry, budget int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.noLock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	e, ok := c.entries[fp]
 	if !ok {
 		c.insert(fp, taken, sleep, budget)
@@ -236,9 +288,13 @@ func (c *fpCache) visit(fp uint64, taken []int, sleep []sched.SleepEntry, budget
 		}
 		return e.budget >= budget && sleepSubset(e.sleep, sleep)
 	default:
-		e.key = append([]int(nil), taken...)
-		e.sleep = append([]sched.SleepEntry(nil), sleep...)
+		// The current run is the more canonical visitor: replace the
+		// entry in place, reusing its slices (they belong to this entry
+		// alone, so truncate-and-append cannot alias another visitor).
+		e.key = append(e.key[:0], taken...)
+		e.sleep = append(e.sleep[:0], sleep...)
 		e.budget = budget
+		c.entries[fp] = e
 		return false
 	}
 }
@@ -253,16 +309,22 @@ func (c *fpCache) insert(fp uint64, taken []int, sleep []sched.SleepEntry, budge
 	} else {
 		c.order = append(c.order, fp)
 	}
-	c.entries[fp] = &fpEntry{
-		key:    append([]int(nil), taken...),
-		sleep:  append([]sched.SleepEntry(nil), sleep...),
+	var sleepCopy []sched.SleepEntry
+	if len(sleep) > 0 {
+		sleepCopy = append(sleepCopy, sleep...)
+	}
+	c.entries[fp] = fpEntry{
+		key:    c.putKey(taken),
+		sleep:  sleepCopy,
 		budget: budget,
 	}
 }
 
 func (c *fpCache) stats() (hits, evictions int64, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.noLock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	return c.hits, c.evictions, len(c.entries)
 }
 
@@ -294,34 +356,45 @@ func exploreAllReduced(build Builder, opts Options) *Result {
 	var cache *fpCache
 	if opts.Reduction.fingerprints() {
 		cache = newFPCache(opts.reductionCache())
+		cache.noLock = opts.parallelism() == 1
 	}
-	q := newWorkQueue[redItem]()
-	q.push(redItem{})
-	explore(c, q, opts.parallelism(), func(item redItem) {
-		exploreAllReducedItem(build, c, q, cache, item, opts.Reduction)
+	explore(c, &redItem{}, opts.parallelism(), func() func(*redItem, func(*redItem)) {
+		w := &redWorker{
+			c:    c,
+			r:    newRunner(build),
+			ch:   &sched.Reduced{SleepSets: opts.Reduction.sleepSets(), Budget: unboundedBudget},
+			mode: opts.Reduction,
+		}
+		if cache != nil {
+			w.ch.Prune = cache.pruneFunc()
+		}
+		return w.process
 	})
 	res := c.result()
 	res.Reduction = c.reductionStats(opts.Reduction, cache)
 	return res
 }
 
-func exploreAllReducedItem(build Builder, c *collector, q *workQueue[redItem], cache *fpCache, item redItem, mode Reduction) {
+// redWorker is one reduced-ExploreAll worker's pooled state: the system
+// runner and the reduced chooser (whose snapshot arenas are reused
+// across every schedule the worker executes).
+type redWorker struct {
+	c    *collector
+	r    *runner
+	ch   *sched.Reduced
+	mode Reduction
+}
+
+func (w *redWorker) process(item *redItem, push func(*redItem)) {
+	c := w.c
 	if !c.claim() {
 		return
 	}
-	ch := &sched.Reduced{
-		Prefix:    item.prefix,
-		Sleep:     item.sleep,
-		SleepSets: mode.sleepSets(),
-		Budget:    unboundedBudget,
-	}
-	if cache != nil {
-		ch.Prune = cache.pruneFunc()
-	}
-	schedule := fmt.Sprintf("decisions=%v", item.prefix)
-	verr, panicked := protectedRun(schedule, func() error {
-		sys, verify := build(ch)
-		runErr := sys.Run()
+	ch := w.ch
+	ch.Reset(item.prefix, item.sleep)
+	describe := func() string { return fmt.Sprintf("decisions=%v", item.prefix) }
+	verr, panicked := protectedRun(describe, func() error {
+		sys, verify, runErr := w.r.run(ch)
 		if errors.Is(runErr, sim.ErrPickAbort) {
 			return nil // pruned, not an outcome
 		}
@@ -330,6 +403,9 @@ func exploreAllReducedItem(build Builder, c *collector, q *workQueue[redItem], c
 		}
 		return c.outcome(sys, verify, runErr)
 	})
+	if panicked {
+		w.r.invalidate()
+	}
 	pruned := ch.Pruned || ch.SleepDeadlock
 	if !panicked && (ch.Clamped || len(ch.Fanouts) < len(item.prefix)) {
 		c.unclaim()
@@ -344,7 +420,7 @@ func exploreAllReducedItem(build Builder, c *collector, q *workQueue[redItem], c
 		if !panicked {
 			dec = canonDecisions(ch.Taken)
 		}
-		c.violation(key, schedule, verr, dec)
+		c.violation(key, describe(), verr, dec)
 	}
 	if pruned && !panicked {
 		// A pruned run is a covered partial replay, not a schedule: free
@@ -363,7 +439,46 @@ func exploreAllReducedItem(build Builder, c *collector, q *workQueue[redItem], c
 		return
 	}
 	base := len(item.prefix)
-	var children []redItem
+	// Children are slab-allocated: one counting pass sizes three exact
+	// backing arrays (items, prefixes, sleep sets), then the fill pass
+	// carves three-index subslices out of them. Exact capacities mean
+	// the fill appends never reallocate, so &items[k] pointers and slab
+	// subslices stay stable, and a schedule's whole frontier costs three
+	// heap objects instead of three per child.
+	children, prefixInts, sleepEnts := 0, 0, 0
+	for i := base; i < len(ch.Taken); i++ {
+		snap := ch.Snaps[i-base]
+		for j := range snap.Cands {
+			if j == snap.Taken || snap.Cands[j].Asleep {
+				continue
+			}
+			children++
+			prefixInts += i + 1
+			if w.mode.sleepSets() {
+				sleepEnts += len(snap.Sleep)
+				for m := 0; m < j; m++ {
+					if cm := snap.Cands[m]; !cm.Asleep && cm.FpKnown {
+						sleepEnts++
+					}
+				}
+			}
+		}
+	}
+	if children == 0 {
+		// Still tally the asleep branches the loop below would have.
+		for i := base; i < len(ch.Taken); i++ {
+			snap := ch.Snaps[i-base]
+			for j := range snap.Cands {
+				if j != snap.Taken && snap.Cands[j].Asleep {
+					c.redSleepSkipped.Add(1)
+				}
+			}
+		}
+		return
+	}
+	items := make([]redItem, 0, children)
+	prefixSlab := make([]int, 0, prefixInts)
+	sleepSlab := make([]sched.SleepEntry, 0, sleepEnts)
 	for i := base; i < len(ch.Taken); i++ {
 		snap := ch.Snaps[i-base]
 		for j := len(snap.Cands) - 1; j >= 0; j-- {
@@ -374,27 +489,34 @@ func exploreAllReducedItem(build Builder, c *collector, q *workQueue[redItem], c
 				c.redSleepSkipped.Add(1)
 				continue
 			}
+			ps := len(prefixSlab)
+			prefixSlab = append(prefixSlab, ch.Taken[:i]...)
+			prefixSlab = append(prefixSlab, j)
 			var childSleep []sched.SleepEntry
-			if mode.sleepSets() {
+			if w.mode.sleepSets() {
 				// The child wakes after its earlier siblings: it inherits
 				// this decision's live sleep set plus every awake sibling
 				// explored before it (the taken branch and awake branches
 				// at smaller indices), so their orderings are never
 				// re-derived. Siblings with unknown footprints (arrivals)
-				// cannot be represented and are simply not slept on.
-				childSleep = append([]sched.SleepEntry(nil), snap.Sleep...)
+				// cannot be represented and are simply not slept on. The
+				// copy detaches the child from the chooser's snapshot
+				// arena, which the next Reset reuses.
+				ss := len(sleepSlab)
+				sleepSlab = append(sleepSlab, snap.Sleep...)
 				for m := 0; m < j; m++ {
 					cm := snap.Cands[m]
 					if !cm.Asleep && cm.FpKnown {
-						childSleep = append(childSleep, sched.SleepEntry{Proc: cm.Proc, Processor: cm.Processor, Fp: cm.Fp})
+						sleepSlab = append(sleepSlab, sched.SleepEntry{Proc: cm.Proc, Processor: cm.Processor, Fp: cm.Fp})
 					}
 				}
+				childSleep = sleepSlab[ss:len(sleepSlab):len(sleepSlab)]
 			}
-			children = append(children, redItem{
-				prefix: append(ch.Taken[:i:i], j),
+			items = append(items, redItem{
+				prefix: prefixSlab[ps:len(prefixSlab):len(prefixSlab)],
 				sleep:  childSleep,
 			})
+			push(&items[len(items)-1])
 		}
 	}
-	q.push(children...)
 }

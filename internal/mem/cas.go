@@ -41,6 +41,10 @@ func (o *CASObject) StateHash() uint64 {
 // Load returns the current value. Statement-baton discipline applies.
 func (o *CASObject) Load() Word { return o.v }
 
+// Reset restores the word to its initial value, for pooled reruns
+// (sim.System.OnReset hooks). Must not be called mid-run.
+func (o *CASObject) Reset() { o.v = o.init }
+
 // CompareAndSwap installs new if the value equals old, reporting whether
 // it did. Statement-baton discipline applies (call via sim.Ctx).
 func (o *CASObject) CompareAndSwap(old, new Word) bool {

@@ -72,6 +72,17 @@ func (r *Reg) Load() Word { return r.v }
 // applies.
 func (r *Reg) Store(v Word) { r.v = v }
 
+// Reset restores the register to its initial value, for pooled reruns
+// (sim.System.OnReset hooks). Must not be called mid-run.
+func (r *Reg) Reset() { r.v = r.init }
+
+// ResetRegs resets every register in a slice (NewRegArray layouts).
+func ResetRegs(rs []*Reg) {
+	for _, r := range rs {
+		r.Reset()
+	}
+}
+
 // NewRegArray allocates n registers named name[0..n-1], all ⊥.
 func NewRegArray(name string, n int) []*Reg {
 	return NewRegArrayInit(name, n, Bottom)
@@ -177,6 +188,13 @@ func (o *ConsObject) Invoke(v Word) Word {
 		return Bottom
 	}
 	return o.decided
+}
+
+// Reset restores the object to its never-invoked state, for pooled
+// reruns (sim.System.OnReset hooks). Must not be called mid-run.
+func (o *ConsObject) Reset() {
+	o.invocations = 0
+	o.decided = Bottom
 }
 
 // NewConsArray allocates n C-consensus objects named name[0..n-1].

@@ -38,6 +38,12 @@ func NewCrash(inner sim.Chooser, plan ...CrashPoint) *Crash {
 // Pick implements sim.Chooser by delegating to Inner.
 func (c *Crash) Pick(d sim.Decision) int { return c.Inner.Pick(d) }
 
+// Reset rearms every planned crash for a pooled rerun
+// (sim.System.OnReset hooks). The plan itself is immutable.
+func (c *Crash) Reset() {
+	clear(c.fired)
+}
+
 // Crashes implements sim.Crasher: it returns every planned victim whose
 // step has been reached and which has not fired yet.
 func (c *Crash) Crashes(d sim.Decision) []*sim.Process {
@@ -96,6 +102,16 @@ func NewRandomCrash(inner sim.Chooser, seed int64, maxCrashes int, prob float64)
 
 // Pick implements sim.Chooser by delegating to Inner.
 func (c *RandomCrash) Pick(d sim.Decision) int { return c.Inner.Pick(d) }
+
+// Reseed rewinds the injector to the start of the crash stream for
+// seed, so a pooled worker replays seed after seed. Reseed(inner, s) is
+// equivalent to replacing the injector with NewRandomCrash(inner, s,
+// MaxCrashes, Prob).
+func (c *RandomCrash) Reseed(inner sim.Chooser, seed int64) {
+	c.Inner = inner
+	c.Injected = 0
+	c.rng.Seed(seed)
+}
 
 // Crashes implements sim.Crasher.
 func (c *RandomCrash) Crashes(d sim.Decision) []*sim.Process {

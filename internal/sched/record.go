@@ -28,6 +28,27 @@ type Record struct {
 // NewRecord returns a recording wrapper around inner.
 func NewRecord(inner sim.Chooser) *Record { return &Record{Inner: inner} }
 
+// Reset rewinds the recorder around a (possibly new) inner chooser for
+// a pooled rerun, reusing the record buffers. Equivalent to replacing
+// the recorder with NewRecord(inner).
+func (r *Record) Reset(inner sim.Chooser) {
+	r.Inner = inner
+	r.Taken = r.Taken[:0]
+	r.Fanouts = r.Fanouts[:0]
+	r.Fired = r.Fired[:0]
+}
+
+// CrashesArmed reports whether Inner can actually inject faults: the
+// kernel skips the per-step Crashes call entirely when it cannot, and
+// Record itself only delegates.
+func (r *Record) CrashesArmed() bool {
+	if ca, ok := r.Inner.(interface{ CrashesArmed() bool }); ok {
+		return ca.CrashesArmed()
+	}
+	_, ok := r.Inner.(sim.Crasher)
+	return ok
+}
+
 // Pick implements sim.Chooser, delegating to Inner and recording the
 // chosen candidate index.
 func (r *Record) Pick(d sim.Decision) int {

@@ -146,6 +146,35 @@ type Reduced struct {
 
 	pos   int
 	sleep []SleepEntry
+	// Snapshot arenas: Snaps' Cands and Sleep slices are carved out of
+	// these append-only buffers so a steady-state run allocates nothing.
+	// Reset truncates them, so snapshots from the previous run must be
+	// consumed before the next Reset.
+	candArena  []CandSnap
+	sleepArena []SleepEntry
+}
+
+// Reset rewinds the chooser for a pooled rerun of a new subtree,
+// reusing the record buffers and snapshot arenas. SleepSets, Prune and
+// Budget keep their configured values; everything else is as in a
+// fresh &Reduced{Prefix: prefix, Sleep: sleep}. Snapshots recorded by
+// the previous run are invalidated (their arena memory is reused), so
+// the caller must have finished generating children from Snaps before
+// calling Reset.
+func (r *Reduced) Reset(prefix []int, sleep []SleepEntry) {
+	r.Prefix = prefix
+	r.Sleep = sleep
+	r.Taken = r.Taken[:0]
+	r.Fanouts = r.Fanouts[:0]
+	r.Snaps = r.Snaps[:0]
+	r.Clamped = false
+	r.ClampCount = 0
+	r.Pruned = false
+	r.SleepDeadlock = false
+	r.pos = 0
+	r.sleep = r.sleep[:0]
+	r.candArena = r.candArena[:0]
+	r.sleepArena = r.sleepArena[:0]
 }
 
 // Pick implements sim.Chooser.
@@ -175,11 +204,22 @@ func (r *Reduced) Pick(d sim.Decision) int {
 	if r.SleepSets {
 		r.wake(d)
 	}
-	snap := DecisionSnap{Cands: make([]CandSnap, len(d.Candidates)), Taken: -1}
-	snap.Sleep = append([]SleepEntry(nil), r.sleep...)
-	for i, p := range d.Candidates {
+	// Carve the snapshot out of the arenas; the three-index subslices
+	// cap the snapshot at its own length so later arena appends never
+	// alias it. If an append reallocates the arena, earlier snapshots
+	// keep referencing the retired block, which stays valid and
+	// immutable.
+	snap := DecisionSnap{Taken: -1}
+	cs := len(r.candArena)
+	for _, p := range d.Candidates {
 		fp, known := p.NextFootprint()
-		snap.Cands[i] = CandSnap{Proc: p.ID(), Processor: p.Processor(), Fp: fp, FpKnown: known, Asleep: r.asleep(p.ID())}
+		r.candArena = append(r.candArena, CandSnap{Proc: p.ID(), Processor: p.Processor(), Fp: fp, FpKnown: known, Asleep: r.asleep(p.ID())})
+	}
+	snap.Cands = r.candArena[cs:len(r.candArena):len(r.candArena)]
+	ss := len(r.sleepArena)
+	r.sleepArena = append(r.sleepArena, r.sleep...)
+	snap.Sleep = r.sleepArena[ss:len(r.sleepArena):len(r.sleepArena)]
+	for i := range snap.Cands {
 		if snap.Taken < 0 && !snap.Cands[i].Asleep {
 			snap.Taken = i
 		}

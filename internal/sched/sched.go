@@ -35,6 +35,14 @@ func (r *Random) Pick(d sim.Decision) int {
 	return r.rng.Intn(len(d.Candidates))
 }
 
+// Reseed rewinds the PRNG to the start of the stream for seed, so a
+// pooled worker replays seed after seed without reallocating the
+// chooser. Reseed(s) is equivalent to replacing the chooser with
+// NewRandom(s).
+func (r *Random) Reseed(seed int64) {
+	r.rng.Seed(seed)
+}
+
 // RunToCompletion prefers the process that most recently ran, so each
 // invocation completes without same-priority preemption when possible.
 // It is the friendliest legal schedule: a sanity baseline under which
@@ -189,6 +197,17 @@ type Script struct {
 	pos        int
 }
 
+// Reset rewinds the script for a pooled rerun with a new decision
+// prefix, reusing the fan-out buffer. Equivalent to replacing the
+// chooser with &Script{Decisions: decisions}.
+func (s *Script) Reset(decisions []int) {
+	s.Decisions = decisions
+	s.Fanouts = s.Fanouts[:0]
+	s.Clamped = false
+	s.ClampCount = 0
+	s.pos = 0
+}
+
 // Pick implements sim.Chooser.
 func (s *Script) Pick(d sim.Decision) int {
 	s.Fanouts = append(s.Fanouts, len(d.Candidates))
@@ -240,6 +259,27 @@ type BudgetedSwitch struct {
 	// Pruned reports that Prune cut the run (Run returned
 	// sim.ErrPickAbort).
 	Pruned bool
+}
+
+// Reset rewinds the chooser for a pooled rerun with a new deviation
+// budget, reusing the switch map and record buffers. The caller refills
+// SwitchAt (cleared here) and keeps Prune as configured. Equivalent to
+// replacing the chooser with &BudgetedSwitch{SwitchAt: ..., Budget:
+// budget, Prune: ...}.
+func (b *BudgetedSwitch) Reset(budget int) {
+	if b.SwitchAt == nil {
+		b.SwitchAt = make(map[int64]int)
+	} else {
+		clear(b.SwitchAt)
+	}
+	b.current = nil
+	b.Decision = 0
+	b.Fanouts = b.Fanouts[:0]
+	b.Taken = b.Taken[:0]
+	b.Clamped = false
+	b.ClampCount = 0
+	b.Budget = budget
+	b.Pruned = false
 }
 
 // pendingSwitches reports whether any directed switch remains at

@@ -48,6 +48,14 @@ func NewAuditor(quantum int) *Auditor {
 // Err returns the first axiom violation observed, or nil.
 func (a *Auditor) Err() error { return a.err }
 
+// Reset clears the audit state for a pooled rerun (System.OnReset
+// hooks): Config.Observer is fixed at New, so a reusable system reuses
+// the same auditor across runs.
+func (a *Auditor) Reset() {
+	clear(a.procs)
+	a.err = nil
+}
+
 func (a *Auditor) fail(format string, args ...any) {
 	if a.err == nil {
 		a.err = fmt.Errorf("sim: axiom audit: "+format, args...)

@@ -9,17 +9,25 @@ import "repro/internal/mem"
 // identical remaining decisions, so an explorer may soundly prune one
 // in favor of the other.
 //
+// The hash is maintained incrementally as two XOR accumulators — the
+// memory fingerprint (updated by the Ctx accessors on every mutating
+// access) and the process fingerprint (per-process contributions,
+// domain-separated by process id, recomputed lazily for processes the
+// kernel marked dirty since the last call). XOR composition makes each
+// delta O(1): an access changes one object's StateHash term and at most
+// two processes' contributions, never the whole system.
+//
 // The components, all derived from deterministic counters (never wall
 // clock, map order, or pointer identity):
 //
-//   - the incremental memory fingerprint (XOR of every touched object's
-//     StateHash — equal memory states hash equally regardless of the
-//     access order that produced them);
-//   - per process, in ID order: lifecycle state, priority, invocation
-//     index, statements within the current invocation, total
-//     statements, and the observation hash of every value it has read —
-//     the stand-in for the process's opaque local state, sound because
-//     invocation bodies are deterministic functions of what they read;
+//   - the memory fingerprint (XOR of every touched object's StateHash —
+//     equal memory states hash equally regardless of the access order
+//     that produced them);
+//   - per process: lifecycle state, priority, invocation index,
+//     statements within the current invocation, total statements, and
+//     the observation hash of every value it has read — the stand-in
+//     for the process's opaque local state, sound because invocation
+//     bodies are deterministic functions of what they read;
 //   - per process, the scheduler state that steers future grants:
 //     quantum protection, statements since resume while protected, and
 //     whether the process holds its priority level's quantum slot.
@@ -31,24 +39,39 @@ import "repro/internal/mem"
 // invocations) are deliberately excluded: including them would split
 // states that are behaviorally identical.
 func (s *System) Fingerprint() uint64 {
-	h := mem.Mix(fingerprintSeed, s.memFP)
 	for _, p := range s.procs {
-		h = mem.Mix(h, uint64(p.state))
-		h = mem.Mix(h, uint64(p.pri))
-		h = mem.Mix(h, uint64(p.invIndex))
-		h = mem.Mix(h, uint64(p.stmtsThisInv))
-		h = mem.Mix(h, uint64(p.stmtsTotal))
-		h = mem.Mix(h, p.obsHash)
-		if s.cfg.Quantum > 0 {
-			sched := uint64(0)
-			if p.protected {
-				sched = 1 | uint64(p.sinceResume)<<2
-			}
-			if s.holders[p.processor][p.pri] == p {
-				sched |= 2
-			}
-			h = mem.Mix(h, sched)
+		if !p.fpDirty {
+			continue
 		}
+		h := s.procContribution(p)
+		s.procFP ^= p.fpCache ^ h
+		p.fpCache = h
+		p.fpDirty = false
+	}
+	return mem.Mix(mem.Mix(fingerprintSeed, s.memFP), s.procFP)
+}
+
+// procContribution hashes one process's fingerprint component. The
+// leading Mix over the process id domain-separates contributions so the
+// XOR in Fingerprint cannot cancel identical states of distinct
+// processes.
+func (s *System) procContribution(p *Process) uint64 {
+	h := mem.Mix(fingerprintSeed, uint64(p.id)+1)
+	h = mem.Mix(h, uint64(p.state))
+	h = mem.Mix(h, uint64(p.pri))
+	h = mem.Mix(h, uint64(p.invIndex))
+	h = mem.Mix(h, uint64(p.stmtsThisInv))
+	h = mem.Mix(h, uint64(p.stmtsTotal))
+	h = mem.Mix(h, p.obsHash)
+	if s.cfg.Quantum > 0 {
+		sched := uint64(0)
+		if p.protected {
+			sched = 1 | uint64(p.sinceResume)<<2
+		}
+		if s.holder(p.processor, p.pri) == p {
+			sched |= 2
+		}
+		h = mem.Mix(h, sched)
 	}
 	return h
 }

@@ -7,32 +7,34 @@ import (
 	"repro/internal/mem"
 )
 
-// Run executes the system to completion: it launches every process and
-// repeatedly grants one atomic statement to a legally schedulable
-// process until all programs finish. The schedule honors Axiom 1
-// (priority) and Axiom 2 (quantum) exactly; remaining freedom goes to
-// the configured Chooser.
+// Run executes the system to completion: it repeatedly grants one atomic
+// statement to a legally schedulable process until all programs finish.
+// The schedule honors Axiom 1 (priority) and Axiom 2 (quantum) exactly;
+// remaining freedom goes to the configured Chooser.
 //
 // Run returns ErrStepLimit if Config.MaxSteps is exceeded, or an error
-// if any process program panicked. It must be called exactly once.
+// if any process program panicked. It may be called again only after
+// Reset.
 func (s *System) Run() error {
 	if s.ran {
 		return ErrRunTwice
 	}
 	s.ran = true
+	s.sealed = true
 
-	for _, p := range s.procs {
-		//repro:allow goroutine baton-passing process shell; the kernel serializes every grant so scheduling stays deterministic
-		go p.run()
-	}
 	// Collect each process's initial yield (thinking, or done for an
-	// empty program). After this point the invariant holds: every
-	// non-done process is blocked receiving from its fromKernel channel.
+	// empty program) by resuming its coroutine to the first park. After
+	// this point the invariant holds: every non-done process is parked
+	// awaiting a grant.
 	for _, p := range s.procs {
-		s.consume(p, <-p.toKernel)
+		k, fp := p.resume(grantRun)
+		s.consume(p, k, fp)
 	}
 
 	crasher, _ := s.cfg.Chooser.(Crasher)
+	if armed, ok := s.cfg.Chooser.(crashArmed); ok && !armed.CrashesArmed() {
+		crasher = nil
+	}
 	for {
 		cands := s.candidates()
 		if crasher != nil && !s.allDone() {
@@ -88,7 +90,7 @@ func (s *System) allDone() bool {
 }
 
 // crash halts process p permanently (a crash-stop fault). The victim's
-// goroutine is unwound, its quantum protection lapses, and its priority
+// coroutine is unwound, its quantum protection lapses, and its priority
 // level's holder slot frees — it departs, it is not preempted, so no
 // SchedPreempt is emitted and no survivor gains quantum protection from
 // the crash. Done or already-crashed victims are ignored.
@@ -99,34 +101,34 @@ func (s *System) crash(p *Process) {
 	if p.state == stateDone || p.state == stateCrashed {
 		return
 	}
-	if s.holders[p.processor][p.pri] == p {
-		delete(s.holders[p.processor], p.pri)
-	}
+	s.clearHolder(p)
 	p.protected = false
 	// A crash is dependent with everything: record it in the access log
 	// so footprint-aware choosers never commute statements across it.
 	s.since = append(s.since, Access{Proc: p.id, Processor: p.processor, Global: true})
 	s.observeSched(SchedEvent{Kind: SchedCrash, Proc: p, Step: s.steps})
-	// Unwind the goroutine: every non-done process is blocked receiving
-	// from fromKernel, and an aborted process sends exactly one final
-	// yieldDone.
-	p.fromKernel <- grantAbort
-	<-p.toKernel
+	// Unwind the coroutine: a non-done process is parked awaiting a
+	// grant, and an aborted pass parks exactly once more with yieldDone.
+	p.resume(grantAbort)
 	p.state = stateCrashed
 	p.crashed = true
+	p.fpDirty = true
 }
 
 // candidates returns, in deterministic (process ID) order, every process
 // that may legally execute the next atomic statement under Axioms 1–2.
+// The returned slice is the system's reusable candidate buffer: valid
+// until the next candidates call, never retained by choosers.
 func (s *System) candidates() []*Process {
-	var out []*Process
+	s.candBuf = s.candBuf[:0]
 	for i := range s.byProc {
-		out = append(out, s.processorCandidates(i)...)
+		s.processorCandidates(i)
 	}
-	return out
+	return s.candBuf
 }
 
-// processorCandidates computes the schedulable set on processor i:
+// processorCandidates appends the schedulable set on processor i to
+// s.candBuf:
 //
 //   - Axiom 1: only processes at the maximal ready priority may run;
 //     thinking processes of strictly higher priority may arrive (and
@@ -138,37 +140,64 @@ func (s *System) candidates() []*Process {
 //     only if no protected holder blocks the level; arrivals at lower
 //     priorities are unobservable until they could run, so they are not
 //     candidates.
-func (s *System) processorCandidates(i int) []*Process {
+func (s *System) processorCandidates(i int) {
 	maxReady := 0
 	for _, p := range s.byProc[i] {
 		if p.state == stateRunnable && p.pri > maxReady {
 			maxReady = p.pri
 		}
 	}
-	var out []*Process
 	if maxReady == 0 {
 		for _, p := range s.byProc[i] {
 			if p.state == stateThinking {
-				out = append(out, p)
+				s.candBuf = append(s.candBuf, p)
 			}
 		}
-		return out
+		return
 	}
-	holder := s.holders[i][maxReady]
+	holder := s.holder(i, maxReady)
 	blocked := holder != nil && holder.state == stateRunnable && holder.protected
 	for _, p := range s.byProc[i] {
 		switch {
 		case p.state == stateRunnable && p.pri == maxReady:
 			if !blocked || p == holder {
-				out = append(out, p)
+				s.candBuf = append(s.candBuf, p)
 			}
 		case p.state == stateThinking && p.pri > maxReady:
-			out = append(out, p)
+			s.candBuf = append(s.candBuf, p)
 		case p.state == stateThinking && p.pri == maxReady && !blocked:
-			out = append(out, p)
+			s.candBuf = append(s.candBuf, p)
 		}
 	}
-	return out
+}
+
+// holder returns the quantum-slot holder at (processor, priority), or
+// nil. Holder slots live in a flat per-processor slice indexed by
+// priority, grown on demand (dynamic priorities may exceed the levels
+// present at AddProcess).
+func (s *System) holder(proc, lvl int) *Process {
+	hs := s.holders[proc]
+	if lvl >= len(hs) {
+		return nil
+	}
+	return hs[lvl]
+}
+
+func (s *System) setHolder(proc, lvl int, p *Process) {
+	hs := s.holders[proc]
+	for lvl >= len(hs) {
+		hs = append(hs, nil)
+	}
+	hs[lvl] = p
+	s.holders[proc] = hs
+}
+
+// clearHolder frees p's priority level's holder slot if p holds it.
+func (s *System) clearHolder(p *Process) {
+	hs := s.holders[p.processor]
+	if p.pri < len(hs) && hs[p.pri] == p {
+		hs[p.pri] = nil
+	}
 }
 
 // grant lets process p execute one atomic statement, performing all
@@ -184,19 +213,19 @@ func (s *System) grant(p *Process) {
 		// is already thinking/done) still completes in consume.
 		p.state = stateRunnable
 	}
-	if h := s.holders[i][lvl]; h != nil && h != p && h.state == stateRunnable {
+	if h := s.holder(i, lvl); h != nil && h != p && h.state == stateRunnable {
 		// Same-priority preemption of the current quantum holder. Per
 		// Axiom 2 the victim is guaranteed Q of its own statements once
 		// it resumes (unless its invocation ends first).
 		h.protected = s.cfg.Quantum > 0
 		h.sinceResume = 0
 		h.preemptions++
+		h.fpDirty = true
 		s.observeSched(SchedEvent{Kind: SchedPreempt, Proc: h, By: p, Step: s.steps})
 	}
-	s.holders[i][lvl] = p
+	s.setHolder(i, lvl, p)
 
-	p.fromKernel <- grantRun
-	msg := <-p.toKernel
+	kind, fp := p.resume(grantRun)
 
 	p.stmtsTotal++
 	p.stmtsThisInv++
@@ -216,25 +245,26 @@ func (s *System) grant(p *Process) {
 		Proc:      p.id,
 		Processor: p.processor,
 		Fp:        p.lastEvent.Fp,
-		Global:    arrived || msg.kind != yieldStmt,
+		Global:    arrived || kind != yieldStmt,
 	})
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnStatement(p.lastEvent)
 	}
-	s.consume(p, msg)
+	s.consume(p, kind, fp)
 }
 
-// consume updates kernel-side state from a process's yield message.
-func (s *System) consume(p *Process, msg yieldMsg) {
-	switch msg.kind {
+// consume updates kernel-side state from a process's yield.
+func (s *System) consume(p *Process, kind yieldKind, fp mem.Footprint) {
+	p.fpDirty = true
+	switch kind {
 	case yieldStmt:
 		p.state = stateRunnable
-		p.pending = msg.fp
+		p.pending = fp
 		p.pendingKnown = true
 	case yieldThinking, yieldDone:
 		wasRunning := p.state == stateRunnable
 		p.pendingKnown = false
-		if msg.kind == yieldThinking {
+		if kind == yieldThinking {
 			p.state = stateThinking
 		} else {
 			p.state = stateDone
@@ -244,9 +274,7 @@ func (s *System) consume(p *Process, msg yieldMsg) {
 			// level's holder slot frees.
 			p.protected = false
 			p.sinceResume = 0
-			if s.holders[p.processor][p.pri] == p {
-				delete(s.holders[p.processor], p.pri)
-			}
+			s.clearHolder(p)
 			if p.stmtsThisInv > p.maxInvStmts {
 				p.maxInvStmts = p.stmtsThisInv
 			}
@@ -254,7 +282,7 @@ func (s *System) consume(p *Process, msg yieldMsg) {
 			p.invIndex++
 			s.observeSched(SchedEvent{Kind: SchedInvEnd, Proc: p, Step: s.steps})
 		}
-		if msg.kind == yieldDone {
+		if kind == yieldDone {
 			s.observeSched(SchedEvent{Kind: SchedProcDone, Proc: p, Step: s.steps})
 		}
 		// Dynamic priorities (§5): a pending priority change takes
@@ -271,16 +299,16 @@ func (s *System) observeSched(ev SchedEvent) {
 	}
 }
 
-// abortAll unwinds every live process goroutine. It relies on the kernel
-// invariant that every non-done process is blocked on fromKernel.
+// abortAll unwinds every live process coroutine. It relies on the kernel
+// invariant that every non-done process is parked awaiting a grant.
 // Crashed processes were already unwound by crash.
 func (s *System) abortAll() {
 	for _, p := range s.procs {
 		for p.state != stateDone && p.state != stateCrashed {
-			p.fromKernel <- grantAbort
-			msg := <-p.toKernel
-			if msg.kind == yieldDone {
+			kind, _ := p.resume(grantAbort)
+			if kind == yieldDone {
 				p.state = stateDone
+				p.fpDirty = true
 			}
 		}
 	}

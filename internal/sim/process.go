@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 
 	"repro/internal/mem"
 )
@@ -23,17 +24,8 @@ const (
 	yieldDone                          // program finished (or aborted)
 )
 
-type yieldMsg struct {
-	kind yieldKind
-	// fp is the footprint of the statement the process will execute when
-	// next granted (yieldStmt only). The kernel exposes it to choosers
-	// via Process.NextFootprint, letting them decide which enabled
-	// alternatives commute before committing to an order.
-	fp mem.Footprint
-}
-
 // procState is the kernel's view of a process, derived from its last
-// yield message.
+// yield.
 type procState int
 
 const (
@@ -43,7 +35,7 @@ const (
 	stateCrashed                       // halted permanently by a crash-stop fault
 )
 
-// errAborted is the panic value used to unwind a process goroutine when
+// errAborted is the panic value used to unwind a process coroutine when
 // the kernel aborts the run.
 var errAborted = fmt.Errorf("sim: process aborted")
 
@@ -52,20 +44,41 @@ var errAborted = fmt.Errorf("sim: process aborted")
 // invocation must execute at least one atomic statement.
 type Invocation func(c *Ctx)
 
-// Process is a simulated process. Configure it before Run with
+// Process is a simulated process. Configure it before the first Run with
 // AddInvocation; inspect statistics after Run.
+//
+// The process body runs on a runtime coroutine (iter.Pull): the kernel
+// resumes it with resume, the body parks itself with park. Control
+// strictly alternates — exactly one of kernel and process is running at
+// any time — so a grant is a direct coroutine switch, not a channel
+// round-trip through the goroutine scheduler. Data crosses the switch
+// through the grant/yKind/yFp fields.
 type Process struct {
 	id        int
 	name      string
 	processor int
 	pri       int
+	origPri   int // priority at AddProcess, restored by System.Reset
 	sys       *System
+	ctx       *Ctx
 
 	invocations []Invocation
 	invPri      []int // per-invocation priority (0 = keep current)
 
-	toKernel   chan yieldMsg
-	fromKernel chan grantKind
+	// Coroutine plumbing. next resumes the body until its park; stop
+	// tears it down (its parked yield returns false). yield is the park
+	// side, captured once when the coroutine starts.
+	next     func() (struct{}, bool)
+	stop     func()
+	yield    func(struct{}) bool
+	started  bool
+	stopping bool
+
+	// The kernel↔process mailbox: grant is written by the kernel before
+	// resuming; yKind/yFp are written by the body before parking.
+	grant grantKind
+	yKind yieldKind
+	yFp   mem.Footprint
 
 	// Kernel-side scheduling state.
 	state       procState
@@ -86,6 +99,12 @@ type Process struct {
 	// state in System.Fingerprint: a deterministic invocation body's
 	// future behavior is a function of what it has read so far.
 	obsHash uint64
+
+	// fpCache/fpDirty memoize this process's XOR contribution to
+	// System.Fingerprint; every kernel-side mutation marks the process
+	// dirty and Fingerprint recomputes only dirty contributions.
+	fpCache uint64
+	fpDirty bool
 
 	// Statistics.
 	invIndex     int
@@ -117,7 +136,7 @@ func (p *Process) Priority() int { return p.pri }
 
 // AddInvocation appends an object invocation to the process's program.
 func (p *Process) AddInvocation(inv Invocation) *Process {
-	if p.sys.ran {
+	if p.sys.sealed {
 		panic("sim: AddInvocation after Run")
 	}
 	p.invocations = append(p.invocations, inv)
@@ -130,7 +149,7 @@ func (p *Process) AddInvocation(inv Invocation) *Process {
 // priority may change between invocations but never during one. The
 // priority takes effect when the previous invocation completes.
 func (p *Process) AddInvocationPri(pri int, inv Invocation) *Process {
-	if p.sys.ran {
+	if p.sys.sealed {
 		panic("sim: AddInvocationPri after Run")
 	}
 	if pri < 1 {
@@ -194,15 +213,69 @@ func (p *Process) CompletedInvocations() int { return p.invIndex }
 // failed (nil for clean completion or kernel-initiated abort).
 func (p *Process) Err() error { return p.err }
 
-// run is the process goroutine body.
-func (p *Process) run() {
-	c := &Ctx{p: p}
+// startCoro launches the process body on a runtime coroutine. The body
+// loops so a pooled System can rerun the program after Reset: each pass
+// runs the full program, parks with yieldDone, and waits to be resumed
+// into the next pass. A torn-down coroutine (yield returned false)
+// returns instead of parking again — iter.Pull forbids yielding after
+// stop.
+func (p *Process) startCoro() {
+	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
+		for {
+			p.runProgram()
+			if p.stopping {
+				return
+			}
+			p.yKind = yieldDone
+			if !yield(struct{}{}) {
+				return
+			}
+		}
+	})
+	p.started = true
+}
+
+// resume switches control to the process coroutine with the given grant
+// and returns the yield it parks with. The first resume of a pass never
+// reads the grant (it produces the initial thinking/done yield, matching
+// the arrival protocol).
+func (p *Process) resume(g grantKind) (yieldKind, mem.Footprint) {
+	p.grant = g
+	if !p.started {
+		p.startCoro()
+	}
+	if _, ok := p.next(); !ok {
+		// The coroutine was torn down (Close); report done so kernel
+		// bookkeeping stays consistent.
+		return yieldDone, mem.Footprint{}
+	}
+	return p.yKind, p.yFp
+}
+
+// park yields control back to the kernel with the given message and
+// returns the grant the kernel resumes with. A false yield means the
+// coroutine is being torn down: unwind without parking again.
+func (p *Process) park(kind yieldKind, fp mem.Footprint) grantKind {
+	p.yKind = kind
+	p.yFp = fp
+	if !p.yield(struct{}{}) {
+		p.stopping = true
+		panic(errAborted)
+	}
+	return p.grant
+}
+
+// runProgram executes one full pass of the process's program, converting
+// panics into p.err exactly as the goroutine shell did. Kernel-initiated
+// aborts (errAborted) unwind silently.
+func (p *Process) runProgram() {
 	defer func() {
 		if r := recover(); r != nil && r != errAborted { //nolint:errorlint // sentinel identity
 			p.err = fmt.Errorf("sim: process %s panicked: %v", p.name, r)
 		}
-		p.toKernel <- yieldMsg{kind: yieldDone}
 	}()
+	c := p.ctx
 	for i := range p.invocations {
 		p.await()
 		c.hasGrant = true
@@ -217,11 +290,35 @@ func (p *Process) run() {
 // The grant doubles as permission to execute the first statement of the
 // next invocation.
 func (p *Process) await() {
-	p.toKernel <- yieldMsg{kind: yieldThinking}
-	if <-p.fromKernel == grantAbort {
+	if p.park(yieldThinking, mem.Footprint{}) == grantAbort {
 		p.aborted = true
 		panic(errAborted)
 	}
+}
+
+// reset restores the process to its pre-run state for a pooled rerun.
+// The coroutine itself needs no work: after any completed Run (normal,
+// aborted, or crashed) every started coroutine is parked at its
+// top-of-loop yield, ready to run the program again.
+func (p *Process) reset() {
+	p.state = 0
+	p.protected = false
+	p.sinceResume = 0
+	p.preemptions = 0
+	p.pending = mem.Footprint{}
+	p.pendingKnown = false
+	p.obsHash = 0
+	p.fpCache = 0
+	p.fpDirty = true
+	p.invIndex = 0
+	p.stmtsThisInv = 0
+	p.stmtsTotal = 0
+	p.maxInvStmts = 0
+	p.lastEvent = StmtEvent{}
+	p.aborted = false
+	p.crashed = false
+	p.err = nil
+	p.pri = p.origPri
 }
 
 // Ctx is a process's handle to shared memory. Each method executes
@@ -246,7 +343,7 @@ func (c *Ctx) Pri() int { return c.p.pri }
 // Processor returns the index of the processor the process runs on.
 func (c *Ctx) Processor() int { return c.p.processor }
 
-// stmt blocks until the kernel grants one atomic statement. fp is the
+// stmt parks until the kernel grants one atomic statement. fp is the
 // footprint of the access the statement will perform; it travels with
 // the yield so the kernel knows every parked process's next access
 // before deciding who runs.
@@ -262,8 +359,7 @@ func (c *Ctx) stmt(fp mem.Footprint) {
 		c.hasGrant = false
 		return
 	}
-	c.p.toKernel <- yieldMsg{kind: yieldStmt, fp: fp}
-	if <-c.p.fromKernel == grantAbort {
+	if c.p.park(yieldStmt, fp) == grantAbort {
 		c.p.aborted = true
 		panic(errAborted)
 	}

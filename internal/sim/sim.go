@@ -36,11 +36,17 @@
 //
 // # Mechanics
 //
-// Each process is a goroutine; a single kernel goroutine (the caller of
-// Run) hands a baton to one process at a time. The process executes
-// exactly one atomic statement per grant and yields. Because the kernel
-// blocks until the statement completes, shared accesses need no further
-// synchronization.
+// Each process body runs on a runtime coroutine (iter.Pull); the kernel
+// (the caller of Run) resumes exactly one process at a time, and the
+// process executes exactly one atomic statement per grant before parking
+// again. Control strictly alternates between kernel and process, so a
+// grant is a single coroutine switch — no goroutines, channels, or
+// scheduler trips — and shared accesses need no further synchronization.
+//
+// A System can be pooled across runs: builders that register state-reset
+// hooks with OnReset make the system Reusable, and Reset restores it to
+// its pre-run state (rewinding every process coroutine to the top of its
+// program) so exploration replays allocate nothing.
 package sim
 
 import (
@@ -55,7 +61,8 @@ type Decision struct {
 	// Candidates holds the legally runnable processes; len ≥ 2 (the
 	// kernel resolves singleton decisions itself) except for Decisions
 	// passed to Crasher.Crashes, which are delivered at every scheduling
-	// step and may have any number of candidates.
+	// step and may have any number of candidates. The slice is only valid
+	// for the duration of the call; choosers that retain it must copy.
 	Candidates []*Process
 	// Procs holds every registered process in ID order, including done
 	// and crashed ones; fault-injecting choosers use it to crash
@@ -125,12 +132,23 @@ type Chooser interface {
 // Axiom 1/2 accounting for the survivors is unaffected. Victims that
 // are already done or crashed are ignored; victims from a different
 // System are a programming error (panic).
+//
+// A chooser wrapper that implements Crasher only by delegation may
+// additionally implement CrashesArmed() bool; when it reports false the
+// kernel skips the per-step Crashes call for the whole run.
 type Crasher interface {
 	Chooser
 	// Crashes returns the processes to crash before this scheduling
 	// step. d.Candidates is the pre-crash candidate set; d.Procs lists
 	// all processes.
 	Crashes(d Decision) []*Process
+}
+
+// crashArmed is the optional Crasher refinement consulted once per Run:
+// wrappers whose inner chooser decides crash capability implement it so
+// non-crashing runs pay no per-step Crashes overhead.
+type crashArmed interface {
+	CrashesArmed() bool
 }
 
 // ChooserFunc adapts a function to the Chooser interface.
@@ -169,7 +187,8 @@ var (
 	// ErrStepLimit reports that the run exceeded Config.MaxSteps. Under
 	// an unfair chooser this is how non-termination manifests.
 	ErrStepLimit = errors.New("sim: statement limit exceeded")
-	// ErrRunTwice reports a second Run call on the same System.
+	// ErrRunTwice reports a second Run call on the same System without an
+	// intervening Reset.
 	ErrRunTwice = errors.New("sim: system already run")
 	// ErrPickAbort reports that the chooser terminated the run by
 	// returning PickAbort; the run is incomplete by design (a pruned
@@ -178,22 +197,40 @@ var (
 )
 
 // System is a configured multiprogrammed system: processors, processes,
-// and their programs. Build one with New and AddProcess, then call Run
-// exactly once. A System is not safe for concurrent use.
+// and their programs. Build one with New and AddProcess, then call Run.
+// A System is not safe for concurrent use.
+//
+// By default a System is single-shot: a second Run returns ErrRunTwice.
+// Builders that register OnReset hooks restoring every shared object and
+// output buffer to its initial state make the system reusable: Reset +
+// Run replays the identical workload without reallocating processes,
+// coroutines, or kernel buffers.
 type System struct {
 	cfg     Config
 	procs   []*Process
 	byProc  [][]*Process // processes per processor
-	holders []map[int]*Process
+	holders [][]*Process // per processor, indexed by priority; nil = free
 	steps   int64
 	ran     bool
+	sealed  bool // set at first Run: the process/program set is frozen
 	failure error
+
+	resetHooks []func()
+
+	// candBuf is the reusable candidate buffer candidates() fills each
+	// scheduling step.
+	candBuf []*Process
 
 	// memFP is the incremental memory-state fingerprint: the XOR of
 	// every shared object's StateHash, updated by the Ctx accessors as
 	// objects change. Order-independent by construction, so equal memory
 	// states fingerprint equally no matter how they were reached.
 	memFP uint64
+	// procFP is the incremental process-state fingerprint: the XOR of
+	// every process's cached contribution (see fingerprint.go). Kernel
+	// mutations mark processes dirty; Fingerprint folds deltas in
+	// lazily.
+	procFP uint64
 	// since accumulates executed accesses between decision points for
 	// Decision.Since.
 	since []Access
@@ -213,15 +250,11 @@ func New(cfg Config) *System {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 1 << 22
 	}
-	s := &System{
+	return &System{
 		cfg:     cfg,
 		byProc:  make([][]*Process, cfg.Processors),
-		holders: make([]map[int]*Process, cfg.Processors),
+		holders: make([][]*Process, cfg.Processors),
 	}
-	for i := range s.holders {
-		s.holders[i] = make(map[int]*Process)
-	}
-	return s
 }
 
 // ProcSpec describes a process to add to a system.
@@ -239,7 +272,7 @@ type ProcSpec struct {
 // invocations added with Process.AddInvocation; between invocations the
 // process is "thinking" and arrives when the scheduler (Chooser) elects.
 func (s *System) AddProcess(spec ProcSpec) *Process {
-	if s.ran {
+	if s.sealed {
 		panic("sim: AddProcess after Run")
 	}
 	if spec.Processor < 0 || spec.Processor >= s.cfg.Processors {
@@ -249,20 +282,76 @@ func (s *System) AddProcess(spec ProcSpec) *Process {
 		panic(fmt.Sprintf("sim: priority must be >= 1, got %d", spec.Priority))
 	}
 	p := &Process{
-		id:         len(s.procs),
-		name:       spec.Name,
-		processor:  spec.Processor,
-		pri:        spec.Priority,
-		sys:        s,
-		toKernel:   make(chan yieldMsg),
-		fromKernel: make(chan grantKind),
+		id:        len(s.procs),
+		name:      spec.Name,
+		processor: spec.Processor,
+		pri:       spec.Priority,
+		origPri:   spec.Priority,
+		sys:       s,
 	}
+	p.ctx = &Ctx{p: p}
 	if p.name == "" {
 		p.name = fmt.Sprintf("p%d", p.id)
 	}
 	s.procs = append(s.procs, p)
 	s.byProc[spec.Processor] = append(s.byProc[spec.Processor], p)
 	return p
+}
+
+// OnReset registers a hook Reset runs after clearing kernel and process
+// state. Builders use hooks to restore shared objects and output buffers
+// to their initial values; registering any hook marks the system
+// Reusable. Hooks run in registration order.
+func (s *System) OnReset(hook func()) {
+	if hook == nil {
+		panic("sim: nil OnReset hook")
+	}
+	s.resetHooks = append(s.resetHooks, hook)
+}
+
+// Reusable reports whether the builder declared the system safe to rerun
+// after Reset (it registered at least one OnReset hook).
+func (s *System) Reusable() bool { return len(s.resetHooks) > 0 }
+
+// Reset rewinds the system to its pre-run state so Run may be called
+// again: kernel counters and buffers clear, every process returns to the
+// top of its program (same invocations, original priority), and the
+// registered OnReset hooks restore shared state. The chooser is not
+// touched — callers swap or reset it themselves.
+//
+// Reset must not be called while a Run is in progress; after a panic
+// escaped Run (e.g. out of a chooser), discard the System instead of
+// resetting it — process coroutines may be parked mid-invocation.
+func (s *System) Reset() {
+	s.steps = 0
+	s.ran = false
+	s.failure = nil
+	s.memFP = 0
+	s.procFP = 0
+	s.since = s.since[:0]
+	for i := range s.holders {
+		hs := s.holders[i]
+		for j := range hs {
+			hs[j] = nil
+		}
+	}
+	for _, p := range s.procs {
+		p.reset()
+	}
+	for _, h := range s.resetHooks {
+		h()
+	}
+}
+
+// Close tears down the process coroutines. A closed system cannot Run
+// again; Close is safe to call at any point, including after a panic
+// escaped Run with coroutines parked mid-invocation.
+func (s *System) Close() {
+	for _, p := range s.procs {
+		if p.stop != nil {
+			p.stop()
+		}
+	}
 }
 
 // Steps returns the number of statements executed so far.

@@ -43,6 +43,10 @@ func New(name string) *Object {
 	return &Object{P: mem.NewRegArray(name+".P", 3)}
 }
 
+// Reset restores all three registers to ⊥, for pooled reruns
+// (sim.System.OnReset hooks). Must not be called mid-run.
+func (o *Object) Reset() { mem.ResetRegs(o.P) }
+
 // Decide performs the Fig. 3 decide(val) operation for the calling
 // process and returns the consensus value. val must not be ⊥.
 //
