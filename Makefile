@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-json bench-gate examples experiments soak clean
+.PHONY: all build vet lint test test-short test-race bench bench-json bench-gate examples experiments soak soak-resume-smoke clean
 
 all: build lint test
 
@@ -55,6 +55,11 @@ experiments:
 
 soak:
 	$(GO) run ./cmd/soak -seconds 20
+
+# Durability smoke: SIGKILL a durable soak mid-campaign, resume it, and
+# assert the final summary matches an uninterrupted run (DESIGN.md §11).
+soak-resume-smoke:
+	sh scripts/soak_resume_smoke.sh
 
 clean:
 	$(GO) clean ./...

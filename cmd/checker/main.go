@@ -16,10 +16,18 @@
 //	checker -alg fig3 -n 3 -waitfree-bound 8             # enforce the Theorem 1 step bound
 //	checker -alg fig3 -n 3 -q 2 -minimize -artifact-dir ./artifacts
 //	checker -alg fig3 -n 2 -q 0 -mode all -reduction full  # same verdict, far fewer schedules
+//	checker -alg fig7 -p 2 -mode all -timeout 30s -frontier-out f.json  # export the unexplored remainder
+//	checker -alg fig7 -p 2 -mode all -frontier-in f.json                # ...and continue it later
+//
+// Exit status: 0 = exploration complete, no violations; 1 = violations
+// found; 2 = usage error; 3 = interrupted by -timeout with no violation
+// in the explored part (the verdict is partial, distinguishable from a
+// clean complete run).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +58,10 @@ func main() {
 		artDir     = flag.String("artifact-dir", "", "write a replayable repro bundle per violation into this directory")
 		minimizeF  = flag.Bool("minimize", false, "shrink each violation to a minimal still-failing schedule before reporting")
 		shrinkBudg = flag.Int("shrink-budget", 0, "candidate replays per shrunk violation (0 = internal/minimize default)")
+		runDeadl   = flag.Duration("run-deadline", 0, "per-run wall-clock bound; a run exceeding it twice is skipped and counted, never hangs the exploration (0 = off)")
+		memSoftMB  = flag.Int64("mem-soft-mb", 0, "soft heap ceiling in MiB: under pressure, shed the fingerprint cache and step workers down instead of dying (0 = off)")
+		frontOut   = flag.String("frontier-out", "", "when the exploration is cut short, write the unexplored frontier to this file (modes all|budget, -reduction none)")
+		frontIn    = flag.String("frontier-in", "", "seed the exploration from a frontier file written by -frontier-out instead of the root")
 	)
 	flag.Parse()
 
@@ -74,7 +86,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
 		os.Exit(2)
 	}
-	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel, WaitFreeBound: *wfBound, Reduction: red}
+	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel, WaitFreeBound: *wfBound, Reduction: red,
+		RunDeadline: *runDeadl, MemSoftLimit: uint64(*memSoftMB) << 20}
+	if *frontOut != "" || *frontIn != "" {
+		if red != check.ReductionNone {
+			fmt.Fprintln(os.Stderr, "checker: frontier export/resume requires -reduction none (reduced explorations prune against in-memory state that a frontier cannot carry)")
+			os.Exit(2)
+		}
+		if *mode == "fuzz" {
+			fmt.Fprintln(os.Stderr, "checker: frontier export/resume is for the tree explorers (-mode all|budget), not fuzz")
+			os.Exit(2)
+		}
+		opts.ExportFrontier = *frontOut != ""
+	}
+	if *frontIn != "" {
+		data, err := os.ReadFile(*frontIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+			os.Exit(2)
+		}
+		f := &check.Frontier{}
+		if err := json.Unmarshal(data, f); err != nil {
+			fmt.Fprintf(os.Stderr, "checker: frontier %s: %v\n", *frontIn, err)
+			os.Exit(2)
+		}
+		if f.Empty() {
+			fmt.Println("frontier is empty: the exported exploration had already completed")
+			return
+		}
+		opts.SeedFrontier = f
+	}
 	if *minimizeF || *artDir != "" {
 		opts.ArtifactMeta = &meta
 		opts.Minimize = *minimizeF
@@ -119,7 +160,32 @@ func main() {
 		}
 	}
 	if res.Interrupted {
-		fmt.Printf("interrupted by -timeout %v: results are partial\n", *timeout)
+		fmt.Printf("interrupted by -timeout %v: results are partial (%d schedules explored, %d violations, %d work steals)\n",
+			*timeout, res.Schedules, res.ViolationsTotal, res.Steals)
+	}
+	if res.TimedOutRuns > 0 {
+		fmt.Printf("%d runs exceeded -run-deadline %v twice and were skipped (coverage is partial)\n",
+			res.TimedOutRuns, *runDeadl)
+	}
+	for _, ev := range res.Degradations {
+		fmt.Printf("degraded: %s\n", ev)
+	}
+	if *frontOut != "" {
+		if res.Frontier == nil {
+			fmt.Println("exploration ran to completion: no frontier to export")
+		} else {
+			data, err := json.MarshalIndent(res.Frontier, "", " ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "checker: encode frontier: %v\n", err)
+				os.Exit(2)
+			}
+			if err := os.WriteFile(*frontOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("frontier: %d unexplored subtrees written to %s (continue with -frontier-in)\n",
+				len(res.Frontier.Items), *frontOut)
+		}
 	}
 	if res.StepLimited > 0 {
 		fmt.Printf("%d runs hit the step limit (counted separately, not violations)\n", res.StepLimited)
@@ -129,6 +195,9 @@ func main() {
 	}
 	if res.OK() {
 		fmt.Println("no violations found")
+		if res.Interrupted {
+			os.Exit(3) // clean so far, but the verdict is partial
+		}
 		return
 	}
 	fmt.Printf("VIOLATIONS: %d recorded of %d total\n", len(res.Violations), res.ViolationsTotal)

@@ -11,15 +11,33 @@
 // With -crashes > 0 every run additionally injects up to that many
 // seeded random crash-stop faults.
 //
-// Exit status is non-zero on the first violation. With -artifact-dir the
-// canonically first failing run is written there as a repro bundle for
-// cmd/shrink. The last line of stdout is a machine-readable JSON
-// summary:
+// The runner is a durable campaign (internal/campaign). With -state-dir
+// progress is journaled and checkpointed crash-safely: a campaign killed
+// at any point — SIGKILL included — resumes exactly where it left off
+// with
 //
-//	{"runs":N,"violations":V,"crashes":C,"failed":false}
+//	soak -resume <dir>
 //
-// plus an "artifact":"<path>" field when a bundle was written; cmd/shrink
-// reads this line directly from a captured soak log.
+// which reads the seeds back from the directory's checkpoint. -run-timeout
+// arms a per-run watchdog that turns a stuck schedule into a recorded
+// incident instead of a hang, and -mem-soft-mb sheds parallelism under
+// memory pressure rather than dying.
+//
+// SIGINT/SIGTERM stop gracefully: in-flight runs finish, the summary is
+// still printed, and with -state-dir the state is checkpointed for
+// resume (exit 0); without one the interrupted run exits 130. A second
+// signal aborts immediately.
+//
+// Exit status is non-zero on the first violation. With -artifact-dir
+// (or a -state-dir, which defaults it to <dir>/artifacts) the failing
+// run is written there as a repro bundle for cmd/shrink. The last line
+// of stdout is a machine-readable JSON summary:
+//
+//	{"crashes":C,"failed":false,"interrupted":false,"runs":N,"timeouts":T,"violations":V}
+//
+// plus an "artifact":"<path>" field when a bundle was written and a
+// "resumed":K field on resumed campaigns; cmd/shrink reads the "failed"
+// and "artifact" fields directly from a captured soak log.
 //
 // Usage:
 //
@@ -28,6 +46,8 @@
 //	soak -runs 500 -parallel 1   # sequential
 //	soak -runs 500 -crashes 2    # crash up to 2 processes per run
 //	soak -seconds 60 -crashes 2 -artifact-dir ./soak-artifacts
+//	soak -runs 100000 -state-dir ./campaign   # durable; kill it anytime
+//	soak -resume ./campaign                   # continue where it stopped
 package main
 
 import (
@@ -35,130 +55,152 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
-	"repro/internal/artifact"
+	"repro/internal/campaign"
 )
 
 func main() {
 	var (
-		seconds   = flag.Int("seconds", 10, "time budget (ignored when -runs > 0)")
-		runs      = flag.Int("runs", 0, "fixed number of runs (0 = use -seconds)")
-		seed      = flag.Int64("seed", time.Now().UnixNano(), "base seed")
-		parallel  = flag.Int("parallel", 0, "concurrent soak workers (0 = all CPUs)")
-		crashes   = flag.Int("crashes", 0, "max crash-stop faults injected per run (capped at nprocs-1)")
-		crashSeed = flag.Int64("crash-seed", 0, "base seed for crash injection (0 = derive from -seed)")
-		artDir    = flag.String("artifact-dir", "", "write the first failing run as a repro bundle into this directory")
+		seconds    = flag.Int("seconds", 10, "time budget (ignored when -runs > 0)")
+		runs       = flag.Int64("runs", 0, "fixed number of runs (0 = use -seconds)")
+		seed       = flag.Int64("seed", time.Now().UnixNano(), "base seed")
+		parallel   = flag.Int("parallel", 0, "concurrent soak workers (0 = all CPUs)")
+		crashes    = flag.Int("crashes", 0, "max crash-stop faults injected per run (capped at nprocs-1)")
+		crashSeed  = flag.Int64("crash-seed", 0, "base seed for crash injection (0 = derive from -seed)")
+		artDir     = flag.String("artifact-dir", "", "write failing runs as repro bundles into this directory")
+		stateDir   = flag.String("state-dir", "", "journal and checkpoint progress into this directory (crash-safe, resumable)")
+		resume     = flag.String("resume", "", "resume the campaign persisted in this state directory (seeds are read from its checkpoint)")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run watchdog deadline: a run exceeding it twice is recorded as an incident and skipped (0 = off)")
+		memSoftMB  = flag.Int64("mem-soft-mb", 0, "soft heap ceiling in MiB: under pressure, step worker count down instead of dying (0 = off)")
+		ckptEvery  = flag.Int64("checkpoint-every", 0, "completed runs between checkpoint snapshots (0 = default)")
+		keepGoing  = flag.Bool("keep-going", false, "record violations and continue instead of stopping at the first one")
 	)
 	flag.Parse()
+
+	dir := *stateDir
+	if *resume != "" {
+		if dir != "" && dir != *resume {
+			fmt.Fprintln(os.Stderr, "soak: -resume and -state-dir name different directories")
+			os.Exit(2)
+		}
+		dir = *resume
+		cp, err := campaign.LoadCheckpoint(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(2)
+		}
+		if cp == nil {
+			fmt.Fprintf(os.Stderr, "soak: nothing to resume in %s (no checkpoint)\n", dir)
+			os.Exit(2)
+		}
+		*seed = cp.Identity.BaseSeed
+		*crashSeed = cp.Identity.CrashSeed
+		*crashes = cp.Identity.MaxCrashes
+	}
+	if *crashSeed == 0 {
+		*crashSeed = *seed ^ 0x5deece66d
+	}
 
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if *crashSeed == 0 {
-		*crashSeed = *seed ^ 0x5deece66d
-	}
-	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
 	fmt.Printf("soak: base seed %d, crash seed %d, max crashes/run %d, %d workers\n",
 		*seed, *crashSeed, *crashes, workers)
 
-	var (
-		next     atomic.Int64
-		done     atomic.Int64
-		injected atomic.Int64
-		failed   atomic.Bool
-		mu       sync.Mutex
-		errRun   int64
-		errOut   error
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				idx := next.Add(1) - 1
-				if *runs > 0 && idx >= int64(*runs) {
-					return
-				}
-				if *runs == 0 && time.Now().After(deadline) {
-					return
-				}
-				nCrashed, err := oneRun(*seed, *crashSeed, idx, *crashes)
-				injected.Add(int64(nCrashed))
-				if err != nil {
-					mu.Lock()
-					if errOut == nil || idx < errRun {
-						errRun, errOut = idx, err
-					}
-					mu.Unlock()
-					failed.Store(true)
-					return
-				}
-				done.Add(1)
-			}
-		}()
+	// Graceful stop: closed by the first signal or the -seconds timer.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	requestStop := func() { stopOnce.Do(func() { close(stop) }) }
+	var signalled atomic.Bool
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		signalled.Store(true)
+		fmt.Fprintln(os.Stderr, "soak: signal received; finishing in-flight runs (signal again to abort)")
+		requestStop()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "soak: second signal; aborting without checkpoint")
+		os.Exit(130)
+	}()
+
+	if *runs == 0 {
+		timer := time.AfterFunc(time.Duration(*seconds)*time.Second, requestStop)
+		defer timer.Stop()
 	}
-	wg.Wait()
-	if errOut != nil {
-		// Re-capture the canonically first failing run as a repro
-		// bundle: the trace-bearing bundle is the input to cmd/shrink.
-		artPath := ""
-		if *artDir != "" {
-			meta, s := artifact.SoakMeta(*seed, *crashSeed, errRun, *crashes)
-			if b, rep, err := artifact.Capture(meta, s); err != nil {
-				fmt.Fprintf(os.Stderr, "soak: artifact capture failed: %v\n", err)
-			} else if !rep.Failed() {
-				fmt.Fprintf(os.Stderr, "soak: artifact replay of run %d did not reproduce the failure\n", errRun)
-			} else if artPath, err = b.SaveDir(*artDir); err != nil {
-				fmt.Fprintf(os.Stderr, "soak: %v\n", err)
-				artPath = ""
-			} else {
-				fmt.Printf("soak: repro bundle written to %s\n", artPath)
-			}
+
+	res, err := campaign.Run(campaign.Config{
+		Runs:            *runs,
+		BaseSeed:        *seed,
+		CrashSeed:       *crashSeed,
+		MaxCrashes:      *crashes,
+		Parallel:        *parallel,
+		StateDir:        dir,
+		ArtifactDir:     *artDir,
+		RunTimeout:      *runTimeout,
+		CheckpointEvery: *ckptEvery,
+		MemSoftLimit:    uint64(*memSoftMB) << 20,
+		StopOnViolation: !*keepGoing,
+		Stop:            stop,
+		Log:             func(msg string) { fmt.Fprintln(os.Stderr, "soak: "+msg) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(2)
+	}
+
+	s := res.State
+	interrupted := signalled.Load() || (*runs > 0 && res.Interrupted)
+	cleanRuns := s.Runs - int64(len(s.Violations)) - s.TimedOut
+	artPath := ""
+	if len(s.Violations) > 0 {
+		artPath = s.Violations[0].Artifact
+	}
+
+	if res.Failed() {
+		v := s.Violations[0]
+		if v.Artifact != "" {
+			fmt.Printf("soak: repro bundle written to %s\n", v.Artifact)
 		}
-		fmt.Fprintf(os.Stderr, "soak: FAILED at run %d (base seed %d, crash seed %d) after %d clean runs: %v\n",
-			errRun, *seed, *crashSeed, done.Load(), errOut)
-		summary(done.Load(), 1, injected.Load(), true, artPath)
+		fmt.Fprintf(os.Stderr, "soak: FAILED at run %d (base seed %d, crash seed %d) after %d clean runs: %s\n",
+			v.Idx, *seed, *crashSeed, cleanRuns, v.Err)
+		summary(&s, true, interrupted, artPath)
 		os.Exit(1)
 	}
-	fmt.Printf("soak: %d runs clean, %d crashes injected\n", done.Load(), injected.Load())
-	summary(done.Load(), 0, injected.Load(), false, "")
+
+	fmt.Printf("soak: %d runs clean, %d crashes injected, %d timed out\n", cleanRuns, s.Crashes, s.TimedOut)
+	if interrupted && dir != "" {
+		fmt.Printf("soak: state saved; continue with: soak -resume %s\n", dir)
+	}
+	summary(&s, false, interrupted, "")
+	if signalled.Load() && dir == "" {
+		os.Exit(130) // interrupted without durable state: nonzero, like a killed soak
+	}
 }
 
 // summary prints the machine-readable last-line summary.
-func summary(runs, violations, crashes int64, failed bool, artifactPath string) {
+func summary(s *campaign.State, failed, interrupted bool, artifactPath string) {
 	line := map[string]any{
-		"runs": runs, "violations": violations, "crashes": crashes, "failed": failed,
+		"runs": s.Runs, "violations": len(s.Violations), "crashes": s.Crashes,
+		"timeouts": s.TimedOut, "failed": failed, "interrupted": interrupted,
 	}
 	if artifactPath != "" {
 		line["artifact"] = artifactPath
+	}
+	if s.Resumed > 0 {
+		line["resumed"] = s.Resumed
 	}
 	data, err := json.Marshal(line)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println(string(data))
-}
-
-// oneRun replays soak run idx — the "soakmix" artifact workload with
-// SoakMeta-derived parameters, schedule, and crash plan — and verifies
-// its crash-tolerant invariants. It returns the number of processes
-// crashed by fault injection. All state is local to the call, so runs
-// are safe to execute concurrently.
-func oneRun(base, crashBase, idx int64, maxCrashes int) (int, error) {
-	meta, s := artifact.SoakMeta(base, crashBase, idx, maxCrashes)
-	rep, err := artifact.Replay(&artifact.Bundle{Version: artifact.Version, Meta: meta, Sched: s},
-		artifact.ReplayOptions{})
-	if err != nil {
-		return 0, fmt.Errorf("run %d: %w", idx, err)
-	}
-	if rep.Err != nil {
-		return rep.Crashed, fmt.Errorf("run %d (schedule seed %d): %w", idx, s.Seed, rep.Err)
-	}
-	return rep.Crashed, nil
 }

@@ -65,6 +65,7 @@ func TestScopes(t *testing.T) {
 		{analysis.Determinism, "repro/internal/trace", true},
 		{analysis.Determinism, "repro/internal/sim", true},
 		{analysis.Determinism, "repro/internal/sched", true},
+		{analysis.Determinism, "repro/internal/campaign", true},
 		{analysis.Determinism, "repro/internal/bench", false},
 		{analysis.SimOnly, "repro/internal/unicons", true},
 		{analysis.SimOnly, "repro/internal/multicons", true},
@@ -101,7 +102,7 @@ func TestAnalyzerInventory(t *testing.T) {
 		}
 	}
 	keys := analysis.ValidKeys()
-	for _, k := range []string{"post-run", "walltime", "goroutine", "maporder", "rand", "ctxescape", "exhaustive"} {
+	for _, k := range []string{"post-run", "walltime", "goroutine", "maporder", "rand", "campaign", "ctxescape", "exhaustive"} {
 		if !keys[k] {
 			t.Errorf("ValidKeys missing %q", k)
 		}

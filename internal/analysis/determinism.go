@@ -19,6 +19,7 @@ var replayPackages = []string{
 	"repro/internal/trace",
 	"repro/internal/sim",
 	"repro/internal/sched",
+	"repro/internal/campaign",
 }
 
 // Determinism flags nondeterminism sources in the replay-sensitive
@@ -26,7 +27,12 @@ var replayPackages = []string{
 // outside the sanctioned worker pools, map iteration whose order can
 // leak into output, and GC-coupled object reuse (sync.Pool,
 // runtime.SetFinalizer). Sanctioned uses carry markers — walltime,
-// goroutine, maporder, rand — each with a reason the driver validates.
+// goroutine, maporder, rand, campaign — each with a reason the driver
+// validates. The campaign key is reserved for internal/campaign's
+// durability plumbing: watchdog deadlines, retry backoff, and the
+// memory monitor legitimately read real time, but only to decide WHEN
+// work runs, never WHAT a run computes — run outcomes stay a pure
+// function of the run index.
 // A map range is accepted without a marker in exactly one idiom: a
 // single-statement body appending keys/values to a slice, immediately
 // followed by a sort of that slice (order provably cannot escape).
@@ -42,7 +48,7 @@ var replayPackages = []string{
 var Determinism = &Analyzer{
 	Name:      "determinism",
 	Doc:       "replay-sensitive packages (check, artifact, minimize, trace, sim, sched) must be deterministic functions of their inputs",
-	AllowKeys: []string{"walltime", "goroutine", "maporder", "rand"},
+	AllowKeys: []string{"walltime", "goroutine", "maporder", "rand", "campaign"},
 	SkipTests: true,
 	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, replayPackages...) },
 	Run:       runDeterminism,

@@ -126,6 +126,28 @@ func finalized(p *pooled) {
 	runtime.SetFinalizer(p, func(*pooled) {}) // want `runtime\.SetFinalizer ties object lifetime to GC timing`
 }
 
+// The campaign key sanctions internal/campaign's durability plumbing:
+// watchdog deadlines, retry backoff, and the memory monitor read real
+// time to decide WHEN work runs, never WHAT a run computes. The marker
+// consumes the same walltime diagnostics the unmarked form raises.
+func watchdogDeadline(deadline time.Duration) func() bool {
+	//repro:allow campaign per-replay watchdog deadline; a timed-out run is a recorded incident, never replayed output
+	start := time.Now()
+	return func() bool {
+		//repro:allow campaign per-replay watchdog deadline; a timed-out run is a recorded incident, never replayed output
+		return time.Since(start) > deadline
+	}
+}
+
+// Without the marker the same shape is flagged: campaign code gets no
+// blanket exemption, each walltime site needs its reasoned annotation.
+func unmarkedDeadline(deadline time.Duration) func() bool {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	return func() bool {
+		return time.Since(start) > deadline // want `time\.Since reads the wall clock`
+	}
+}
+
 // Cache eviction must not draw unseeded randomness to pick a victim:
 // which entries survive decides which runs get pruned, so a random
 // policy would make reduced schedule counts unreproducible. Use FIFO or

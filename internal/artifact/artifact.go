@@ -115,6 +115,17 @@ type ReplayOptions struct {
 	// Record captures the taken decision vector and fired crash points
 	// into the Report (the raw material for Normalize).
 	Record bool
+	// Stop, if non-nil, is polled during the run (every StopCheckEvery
+	// decisions, via sched.Watchdog); once it reports true the run is
+	// cut off, Report.Stopped is set, and Report.RunErr is
+	// sim.ErrPickAbort. This is the per-replay watchdog hook: callers
+	// supply a deadline check and a stuck schedule becomes a recorded
+	// timeout instead of a hang. A stopped run's Report.Err reflects
+	// only what the truncated run established (the verifier still runs).
+	Stop func() bool
+	// StopCheckEvery is the decision interval between Stop polls
+	// (0 = sched.Watchdog's default).
+	StopCheckEvery int
 }
 
 // Report is the outcome of one Replay.
@@ -129,6 +140,9 @@ type Report struct {
 	Steps int64
 	// Crashed is the number of processes halted by crash-stop faults.
 	Crashed int
+	// Stopped reports that ReplayOptions.Stop cut the run off before it
+	// completed (the watchdog fired).
+	Stopped bool
 	// Fanouts is the fan-out (candidate count) at each decision point.
 	Fanouts []int
 	// Decisions is the recorded taken decision vector (Record only).
@@ -175,6 +189,11 @@ func Replay(b *Bundle, opts ReplayOptions) (*Report, error) {
 		rec = sched.NewRecord(ch)
 		ch = rec
 	}
+	var wd *sched.Watchdog
+	if opts.Stop != nil {
+		wd = &sched.Watchdog{Inner: ch, Stop: opts.Stop, CheckEvery: opts.StopCheckEvery}
+		ch = wd
+	}
 	var tr *trace.Recorder
 	var obs sim.Observer
 	if opts.Trace {
@@ -190,6 +209,9 @@ func Replay(b *Bundle, opts ReplayOptions) (*Report, error) {
 		rep.Crashed = sys.CrashedCount()
 		return outcome(sys, verify, rep.RunErr, b.Meta.WaitFreeBound)
 	})
+	if wd != nil {
+		rep.Stopped = wd.Fired
+	}
 	switch {
 	case rec != nil:
 		rep.Fanouts = rec.Fanouts

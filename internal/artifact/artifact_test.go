@@ -270,3 +270,43 @@ func TestWorkloadRegistry(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayStop: ReplayOptions.Stop is the per-replay watchdog — an
+// expired deadline cuts the run off (Report.Stopped, RunErr =
+// ErrPickAbort) instead of letting it run, and a never-firing Stop is
+// transparent.
+func TestReplayStop(t *testing.T) {
+	meta := artifact.Meta{Workload: "unicons", N: 3, V: 1, Quantum: unicons.MinQuantum, MaxSteps: 1 << 16}
+	b, clean, err := artifact.Capture(meta, artifact.Sched{Random: true, Seed: 5})
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+
+	rep, err := artifact.Replay(b, artifact.ReplayOptions{
+		Stop:           func() bool { return true },
+		StopCheckEvery: 1,
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !rep.Stopped {
+		t.Fatal("Report.Stopped not set under an always-firing Stop")
+	}
+	if rep.Steps >= clean.Steps {
+		t.Fatalf("stopped replay ran %d steps, full run %d", rep.Steps, clean.Steps)
+	}
+
+	rep, err = artifact.Replay(b, artifact.ReplayOptions{
+		Stop:           func() bool { return false },
+		StopCheckEvery: 1,
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Stopped {
+		t.Fatal("Report.Stopped set though Stop never fired")
+	}
+	if rep.Steps != clean.Steps {
+		t.Fatalf("inert Stop changed the run: %d vs %d steps", rep.Steps, clean.Steps)
+	}
+}

@@ -181,6 +181,39 @@ type Options struct {
 	// ReductionCache caps the visited-fingerprint cache (entries,
 	// 0 = 1<<20). Overflow evicts FIFO, which only forgoes pruning.
 	ReductionCache int
+	// RunDeadline, if > 0, bounds each run in wall-clock time: a run
+	// whose chooser is still being consulted past the deadline is cut
+	// off (sched.Watchdog), retried once from scratch, and — if it times
+	// out again — skipped and counted in Result.TimedOutRuns instead of
+	// hanging the exploration. The subtree below a skipped schedule is
+	// not descended into, so TimedOutRuns > 0 means coverage is partial;
+	// the point of the watchdog is that a stuck schedule degrades to a
+	// counted incident, never a wedged campaign.
+	RunDeadline time.Duration
+	// MemSoftLimit, if > 0, is a soft heap ceiling in bytes: the
+	// collector polls the heap every ProgressEvery schedules and, while
+	// over the limit, degrades gracefully one step per poll — shedding
+	// the fingerprint cache first (reduced modes), then halving the
+	// workers allowed to claim new work, down to one. Steps preserve
+	// verdicts (under reduction they can only increase schedule counts)
+	// and are reported via OnDegrade and Result.Degradations.
+	MemSoftLimit uint64
+	// OnDegrade, if non-nil, is called (serialized) with a description
+	// of each degradation step MemSoftLimit triggers.
+	OnDegrade func(event string)
+	// ExportFrontier, when the exploration is cut short (Context
+	// cancellation, MaxSchedules truncation, StopAtFirst), collects
+	// every unexplored subtree into Result.Frontier instead of dropping
+	// it; feeding that frontier back via SeedFrontier continues the
+	// exploration exactly where it left off. Supported by the plain
+	// (ReductionNone) ExploreAll and ExploreBudget explorers; the
+	// reduced paths and Fuzz ignore it.
+	ExportFrontier bool
+	// SeedFrontier, if non-nil, starts the exploration from a previously
+	// exported frontier's subtrees instead of the root. The frontier
+	// must come from the same explorer over the same builder (the
+	// explorers check Frontier.Explorer). ReductionNone only.
+	SeedFrontier *Frontier
 	// Minimize shrinks each recorded violation's bundle to a minimal
 	// still-failing kernel (internal/minimize) before attaching it.
 	// Requires ArtifactMeta. Shrinking happens after exploration, fanned
@@ -296,6 +329,21 @@ type Result struct {
 	// the exploration completed; Schedules then covers only the runs
 	// finished before cancellation.
 	Interrupted bool
+	// TimedOutRuns counts schedules skipped by Options.RunDeadline: the
+	// run exceeded the per-run deadline twice (original plus one retry)
+	// and was cut off rather than allowed to hang the exploration. A
+	// skipped schedule still counts in Schedules; its subtree is not
+	// descended into.
+	TimedOutRuns int
+	// Degradations records the memory-pressure mitigation steps taken
+	// under Options.MemSoftLimit, in order.
+	Degradations []string
+	// Frontier holds the unexplored remainder of a cut-short exploration
+	// when Options.ExportFrontier is set (nil when the exploration ran
+	// to completion — resuming from an empty frontier is a no-op — or
+	// when the explorer does not support export). Pass it back via
+	// Options.SeedFrontier to continue.
+	Frontier *Frontier
 	// Reduction reports what the reductions did; nil when
 	// Options.Reduction was ReductionNone or the explorer ignores
 	// reduction (Fuzz).

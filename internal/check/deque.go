@@ -107,6 +107,7 @@ func (d *wsDeque[T]) steal() (v *T, retry bool) {
 type wsEngine[T any] struct {
 	c       *collector
 	deques  []*wsDeque[T]
+	export  func(*T)     // non-nil when the frontier is exported on stop
 	pending atomic.Int64 // items pushed but not yet fully processed
 }
 
@@ -115,6 +116,13 @@ type wsEngine[T any] struct {
 // either work appears or the frontier drains. pending is decremented
 // only after an item's children are pushed, so it never reaches zero
 // while reachable work remains.
+//
+// On a stop with frontier export active, the worker moves its own
+// remaining deque items to the frontier before exiting; an item another
+// worker stole concurrently is exported by that worker's process call
+// (its claim fails), so every unexplored subtree lands in the frontier
+// exactly once. A worker parked by the memory-pressure ladder simply
+// exits: its queued items remain stealable by the survivors.
 func (e *wsEngine[T]) worker(w int, process func(item *T, push func(*T))) {
 	own := e.deques[w]
 	push := func(item *T) {
@@ -124,6 +132,10 @@ func (e *wsEngine[T]) worker(w int, process func(item *T, push func(*T))) {
 	idle := 0
 	for {
 		if e.c.stopped() {
+			e.drain(own)
+			return
+		}
+		if e.c.parked(w) {
 			return
 		}
 		item := own.pop()
@@ -148,6 +160,20 @@ func (e *wsEngine[T]) worker(w int, process func(item *T, push func(*T))) {
 	}
 }
 
+// drain exports every item left in the worker's own deque after a stop.
+func (e *wsEngine[T]) drain(own *wsDeque[T]) {
+	if e.export == nil {
+		return
+	}
+	for {
+		item := own.pop()
+		if item == nil {
+			return
+		}
+		e.export(item)
+	}
+}
+
 // steal sweeps the other workers' deques starting after w.
 func (e *wsEngine[T]) steal(w int) *T {
 	n := len(e.deques)
@@ -168,22 +194,35 @@ func (e *wsEngine[T]) steal(w int) *T {
 }
 
 // explore drives process over the frontier of schedule subtrees rooted
-// at root. With parallelism 1 the frontier is a plain LIFO stack and
-// the whole exploration runs on the calling goroutine — no worker
-// pool, no synchronization beyond the collector's — reproducing the
-// canonical sequential enumeration order exactly. Otherwise each of
-// parallelism workers owns a deque and steals when dry. newWorker is
-// called once per worker and returns that worker's process function,
-// which owns all pooled per-worker state (system runner, choosers,
-// scratch buffers); process must push an item's children before
-// returning.
-func explore[T any](c *collector, root *T, parallelism int, newWorker func() func(item *T, push func(*T))) {
+// at roots (a single root item for a fresh exploration, or a seeded
+// frontier's subtrees for a resumed one). With parallelism 1 the
+// frontier is a plain LIFO stack and the whole exploration runs on the
+// calling goroutine — no worker pool, no synchronization beyond the
+// collector's — reproducing the canonical sequential enumeration order
+// exactly. Otherwise each of parallelism workers owns a deque and
+// steals when dry. newWorker is called once per worker and returns
+// that worker's process function, which owns all pooled per-worker
+// state (system runner, choosers, scratch buffers); process must push
+// an item's children before returning. export, if non-nil, receives
+// every item left unprocessed when the exploration stops early (the
+// frontier-checkpoint hook).
+func explore[T any](c *collector, roots []*T, parallelism int, export func(*T), newWorker func() func(item *T, push func(*T))) {
 	if parallelism <= 1 {
 		process := newWorker()
-		stack := []*T{root}
+		// Reversed so the first root is popped (and explored) first,
+		// preserving canonical order across a resume.
+		stack := make([]*T, 0, len(roots))
+		for i := len(roots) - 1; i >= 0; i-- {
+			stack = append(stack, roots[i])
+		}
 		push := func(item *T) { stack = append(stack, item) }
 		for len(stack) > 0 {
 			if c.stopped() {
+				if export != nil {
+					for _, item := range stack {
+						export(item)
+					}
+				}
 				return
 			}
 			item := stack[len(stack)-1]
@@ -192,12 +231,14 @@ func explore[T any](c *collector, root *T, parallelism int, newWorker func() fun
 		}
 		return
 	}
-	e := &wsEngine[T]{c: c, deques: make([]*wsDeque[T], parallelism)}
+	e := &wsEngine[T]{c: c, deques: make([]*wsDeque[T], parallelism), export: export}
 	for i := range e.deques {
 		e.deques[i] = newWSDeque[T]()
 	}
-	e.pending.Store(1)
-	e.deques[0].push(root)
+	e.pending.Store(int64(len(roots)))
+	for i, root := range roots {
+		e.deques[i%parallelism].push(root)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)

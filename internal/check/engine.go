@@ -60,12 +60,22 @@ type collector struct {
 	redSleepPruned  atomic.Int64
 	redFPPruned     atomic.Int64
 	redSleepSkipped atomic.Int64
+	timedOut        atomic.Int64 // runs skipped by the RunDeadline watchdog
 	truncated       atomic.Bool
 	interrupted     atomic.Bool
 	stop            atomic.Bool
 
-	mu    sync.Mutex
-	viols []keyedViolation // sorted by key, capped at maxViol
+	// Degradation-ladder state (Options.MemSoftLimit); see frontier.go.
+	memSoft      uint64
+	allowed      atomic.Int32 // workers allowed to claim new work
+	cache        *fpCache     // sheddable fingerprint cache, may be nil
+	cacheShed    bool         // under mu
+	degradeFloor bool         // under mu
+	degradations []string     // under mu
+
+	mu     sync.Mutex
+	viols  []keyedViolation // sorted by key, capped at maxViol
+	fronts []keyedFrontier  // exported frontier items (ExportFrontier)
 
 	start     time.Time
 	progEvery int64
@@ -76,15 +86,18 @@ func newCollector(opts Options) *collector {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &collector{
+	c := &collector{
 		opts:     opts,
 		ctx:      ctx,
 		maxSched: int64(opts.maxSchedules()),
 		maxViol:  opts.maxViolations(),
+		memSoft:  opts.MemSoftLimit,
 		//repro:allow walltime start feeds only Result.Elapsed and progress reporting, never replayed output
 		start:     time.Now(),
 		progEvery: opts.progressEvery(),
 	}
+	c.allowed.Store(int32(opts.parallelism()))
+	return c
 }
 
 // stopped reports whether the exploration should stop claiming work,
@@ -145,9 +158,13 @@ func (c *collector) reductionStats(mode Reduction, cache *fpCache) *ReductionSta
 	return rs
 }
 
-// count records one executed schedule and emits progress when due.
+// count records one executed schedule, polls memory pressure, and
+// emits progress when due.
 func (c *collector) count() {
 	n := c.counted.Add(1)
+	if n%c.progEvery == 0 {
+		c.memPressure()
+	}
 	if c.opts.Progress != nil && n%c.progEvery == 0 {
 		//repro:allow walltime elapsed feeds only ProgressInfo/Result.Elapsed diagnostics, never replayed output
 		elapsed := time.Since(c.start)
@@ -260,7 +277,11 @@ func (c *collector) result() *Result {
 		StepLimited:     int(c.stepLimited.Load()),
 		Steals:          c.steals.Load(),
 		Interrupted:     c.interrupted.Load(),
+		TimedOutRuns:    int(c.timedOut.Load()),
 	}
+	c.mu.Lock()
+	res.Degradations = c.degradations
+	c.mu.Unlock()
 	viols := c.viols
 	if c.opts.StopAtFirst && len(viols) > 1 {
 		viols = viols[:1]
@@ -377,12 +398,25 @@ func ExploreAll(build Builder, opts Options) *Result {
 	if opts.Reduction != ReductionNone {
 		return exploreAllReduced(build, opts)
 	}
+	checkSeed(opts.SeedFrontier, "all")
 	c := newCollector(opts)
-	explore(c, &prefixItem{}, opts.parallelism(), func() func(*prefixItem, func(*prefixItem)) {
-		w := &allWorker{c: c, r: newRunner(build), script: &sched.Script{}}
-		return w.process
-	})
-	return c.result()
+	var export func(*prefixItem)
+	if opts.ExportFrontier {
+		export = c.exportAll
+	}
+	explore(c, seedItemsAll(opts.SeedFrontier), opts.parallelism(), export,
+		func() func(*prefixItem, func(*prefixItem)) {
+			w := &allWorker{c: c, r: newRunner(build), script: &sched.Script{},
+				dog: newWatchdog(opts), export: export}
+			return w.process
+		})
+	res := c.result()
+	if opts.ExportFrontier {
+		if f := c.frontierResult("all", 0); !f.Empty() {
+			res.Frontier = f
+		}
+	}
+	return res
 }
 
 // allWorker is one plain-ExploreAll worker's pooled state: the system
@@ -392,6 +426,8 @@ type allWorker struct {
 	c      *collector
 	r      *runner
 	script *sched.Script
+	dog    *watchdog
+	export func(*prefixItem)
 	taken  []int
 }
 
@@ -403,21 +439,45 @@ type allWorker struct {
 func (w *allWorker) process(item *prefixItem, push func(*prefixItem)) {
 	c := w.c
 	if !c.claim() {
+		// The subtree was never entered; with ExportFrontier it moves to
+		// the frontier instead of being dropped.
+		if w.export != nil {
+			w.export(item)
+		}
 		return
 	}
 	prefix := item.prefix
 	script := w.script
-	script.Reset(prefix)
 	describe := func() string { return fmt.Sprintf("decisions=%v", prefix) }
-	verr, panicked := protectedRun(describe, func() error {
-		sys, verify, runErr := w.r.run(script)
-		if script.Clamped || len(script.Fanouts) < len(prefix) {
-			return nil // aliased; detected below from the script state
+	var verr error
+	var panicked bool
+	for attempt := 0; ; attempt++ {
+		script.Reset(prefix)
+		ch := w.dog.arm(script)
+		verr, panicked = protectedRun(describe, func() error {
+			sys, verify, runErr := w.r.run(ch)
+			if w.dog.fired() {
+				return nil // timed out; handled below
+			}
+			if script.Clamped || len(script.Fanouts) < len(prefix) {
+				return nil // aliased; detected below from the script state
+			}
+			return c.outcome(sys, verify, runErr)
+		})
+		if !panicked && w.dog.fired() && attempt == 0 {
+			continue // retry a timed-out run once
 		}
-		return c.outcome(sys, verify, runErr)
-	})
+		break
+	}
 	if panicked {
 		w.r.invalidate()
+	}
+	if !panicked && w.dog.fired() {
+		// Timed out twice: skip the schedule (and its subtree) rather
+		// than hang; the run still occupies its MaxSchedules slot.
+		c.timedOut.Add(1)
+		c.count()
+		return
 	}
 	if !panicked && (script.Clamped || len(script.Fanouts) < len(prefix)) {
 		// The replay aliased a different decision vector (possible only
@@ -441,8 +501,10 @@ func (w *allWorker) process(item *prefixItem, push func(*prefixItem)) {
 	c.count()
 	// After a panic the script's fan-out record is unreliable, so the
 	// subtree below this schedule is not descended into; the violation
-	// records the abandoned prefix.
-	if c.stopped() || panicked {
+	// records the abandoned prefix. When exporting a frontier, a stop
+	// must not drop this run's children: they are pushed anyway, and the
+	// worker's drain pass moves them to the frontier.
+	if panicked || (c.stopped() && w.export == nil) {
 		return
 	}
 	taken := append(w.taken[:0], prefix...)
@@ -506,63 +568,98 @@ type budgetItem struct {
 // placed in increasing order, so every ≤budget-deviation schedule is
 // covered exactly once.
 func ExploreBudget(build Builder, budget int, opts Options) *Result {
+	checkSeed(opts.SeedFrontier, "budget")
 	c := newCollector(opts)
 	var cache *fpCache
 	if opts.Reduction.fingerprints() {
 		cache = newFPCache(opts.reductionCache())
 		cache.noLock = opts.parallelism() == 1
+		c.cache = cache
 	}
-	explore(c, &budgetItem{budget: budget}, opts.parallelism(), func() func(*budgetItem, func(*budgetItem)) {
-		w := &budgetWorker{c: c, r: newRunner(build), ch: &sched.BudgetedSwitch{}}
-		if cache != nil {
-			// The chooser consults the cache only past the last directed
-			// switch, where the run is a pure default continuation from a
-			// state the fingerprint fully identifies (plus the chooser's
-			// current-process steering, folded in via PruneInfo.Extra).
-			w.ch.Prune = cache.pruneFunc()
-		}
-		return w.process
-	})
+	var export func(*budgetItem)
+	if opts.ExportFrontier && opts.Reduction == ReductionNone {
+		export = c.exportBudget
+	}
+	explore(c, seedItemsBudget(opts.SeedFrontier, budget), opts.parallelism(), export,
+		func() func(*budgetItem, func(*budgetItem)) {
+			w := &budgetWorker{c: c, r: newRunner(build), ch: &sched.BudgetedSwitch{},
+				dog: newWatchdog(opts), export: export}
+			if cache != nil {
+				// The chooser consults the cache only past the last directed
+				// switch, where the run is a pure default continuation from a
+				// state the fingerprint fully identifies (plus the chooser's
+				// current-process steering, folded in via PruneInfo.Extra).
+				w.ch.Prune = cache.pruneFunc()
+			}
+			return w.process
+		})
 	res := c.result()
 	if opts.Reduction != ReductionNone {
 		res.Reduction = c.reductionStats(opts.Reduction, cache)
+	}
+	if export != nil {
+		if f := c.frontierResult("budget", budget); !f.Empty() {
+			res.Frontier = f
+		}
 	}
 	return res
 }
 
 // budgetWorker is one ExploreBudget worker's pooled state.
 type budgetWorker struct {
-	c  *collector
-	r  *runner
-	ch *sched.BudgetedSwitch
+	c      *collector
+	r      *runner
+	ch     *sched.BudgetedSwitch
+	dog    *watchdog
+	export func(*budgetItem)
 }
 
 func (w *budgetWorker) process(item *budgetItem, push func(*budgetItem)) {
 	c := w.c
 	if !c.claim() {
+		if w.export != nil {
+			w.export(item)
+		}
 		return
 	}
 	ch := w.ch
-	ch.Reset(item.budget)
-	for _, sw := range item.switches {
-		ch.SwitchAt[sw.d] = sw.choice
-	}
 	describe := func() string { return fmt.Sprintf("switches=%v", ch.SwitchAt) }
 	aliased := func() bool {
 		return ch.Clamped || (len(item.switches) > 0 && item.switches[len(item.switches)-1].d >= ch.Decision)
 	}
-	verr, panicked := protectedRun(describe, func() error {
-		sys, verify, runErr := w.r.run(ch)
-		if errors.Is(runErr, sim.ErrPickAbort) {
-			return nil // pruned, not an outcome
+	var verr error
+	var panicked bool
+	for attempt := 0; ; attempt++ {
+		ch.Reset(item.budget)
+		for _, sw := range item.switches {
+			ch.SwitchAt[sw.d] = sw.choice
 		}
-		if aliased() {
-			return nil
+		wch := w.dog.arm(ch)
+		verr, panicked = protectedRun(describe, func() error {
+			sys, verify, runErr := w.r.run(wch)
+			if w.dog.fired() {
+				return nil // timed out; handled below
+			}
+			if errors.Is(runErr, sim.ErrPickAbort) {
+				return nil // pruned, not an outcome
+			}
+			if aliased() {
+				return nil
+			}
+			return c.outcome(sys, verify, runErr)
+		})
+		if !panicked && w.dog.fired() && attempt == 0 {
+			continue // retry a timed-out run once
 		}
-		return c.outcome(sys, verify, runErr)
-	})
+		break
+	}
 	if panicked {
 		w.r.invalidate()
+	}
+	if !panicked && w.dog.fired() {
+		c.timedOut.Add(1)
+		c.count()
+		return
 	}
 	if !panicked && aliased() {
 		// A clamped or never-reached switch means the replay aliased a
@@ -594,8 +691,10 @@ func (w *budgetWorker) process(item *budgetItem, push func(*budgetItem)) {
 	} else {
 		c.count()
 	}
-	// See allWorker.process: no descent below a panicked schedule.
-	if c.stopped() || panicked || item.budget == 0 {
+	// See allWorker.process: no descent below a panicked schedule; a
+	// stop with ExportFrontier still pushes children so the drain pass
+	// moves them to the frontier.
+	if panicked || item.budget == 0 || (c.stopped() && w.export == nil) {
 		return
 	}
 	taken := ch.Taken
@@ -634,6 +733,7 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 			defer wg.Done()
 			r := newRunner(build)
 			rng := sched.NewRandom(0)
+			dog := newWatchdog(opts)
 			var rec *sched.Record
 			if c.opts.needDecisions() {
 				rec = sched.NewRecord(rng)
@@ -646,19 +746,36 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 				if seed >= n {
 					return
 				}
-				rng.Reseed(seed)
-				var ch sim.Chooser = rng
-				if rec != nil {
-					rec.Reset(rng)
-					ch = rec
-				}
+				var verr error
+				var panicked bool
 				describe := func() string { return fmt.Sprintf("seed=%d", seed) }
-				verr, panicked := protectedRun(describe, func() error {
-					sys, verify, runErr := r.run(ch)
-					return c.outcome(sys, verify, runErr)
-				})
+				for attempt := 0; ; attempt++ {
+					rng.Reseed(seed)
+					var ch sim.Chooser = rng
+					if rec != nil {
+						rec.Reset(rng)
+						ch = rec
+					}
+					ch = dog.arm(ch)
+					verr, panicked = protectedRun(describe, func() error {
+						sys, verify, runErr := r.run(ch)
+						if dog.fired() {
+							return nil // timed out; handled below
+						}
+						return c.outcome(sys, verify, runErr)
+					})
+					if !panicked && dog.fired() && attempt == 0 {
+						continue // retry a timed-out run once
+					}
+					break
+				}
 				if panicked {
 					r.invalidate()
+				}
+				if !panicked && dog.fired() {
+					c.timedOut.Add(1)
+					c.count()
+					continue
 				}
 				if verr != nil {
 					var dec []int

@@ -320,6 +320,23 @@ func (c *fpCache) insert(fp uint64, taken []int, sleep []sched.SleepEntry, budge
 	}
 }
 
+// shed empties the cache under memory pressure (the collector's
+// degradation ladder). Sound for the same reason FIFO eviction is:
+// dropping entries only forgoes pruning, so later runs re-execute work
+// instead of being cut off — verdicts are unaffected. The noLock fast
+// path is safe here too: at Parallelism 1 shed runs on the single
+// exploring goroutine, between runs.
+func (c *fpCache) shed() {
+	if !c.noLock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.entries = make(map[uint64]fpEntry, 64)
+	c.order = nil
+	c.head = 0
+	c.keyChunk = nil
+}
+
 func (c *fpCache) stats() (hits, evictions int64, entries int) {
 	if !c.noLock {
 		c.mu.Lock()
@@ -357,13 +374,15 @@ func exploreAllReduced(build Builder, opts Options) *Result {
 	if opts.Reduction.fingerprints() {
 		cache = newFPCache(opts.reductionCache())
 		cache.noLock = opts.parallelism() == 1
+		c.cache = cache
 	}
-	explore(c, &redItem{}, opts.parallelism(), func() func(*redItem, func(*redItem)) {
+	explore(c, []*redItem{{}}, opts.parallelism(), nil, func() func(*redItem, func(*redItem)) {
 		w := &redWorker{
 			c:    c,
 			r:    newRunner(build),
 			ch:   &sched.Reduced{SleepSets: opts.Reduction.sleepSets(), Budget: unboundedBudget},
 			mode: opts.Reduction,
+			dog:  newWatchdog(opts),
 		}
 		if cache != nil {
 			w.ch.Prune = cache.pruneFunc()
@@ -383,6 +402,7 @@ type redWorker struct {
 	r    *runner
 	ch   *sched.Reduced
 	mode Reduction
+	dog  *watchdog
 }
 
 func (w *redWorker) process(item *redItem, push func(*redItem)) {
@@ -391,20 +411,37 @@ func (w *redWorker) process(item *redItem, push func(*redItem)) {
 		return
 	}
 	ch := w.ch
-	ch.Reset(item.prefix, item.sleep)
 	describe := func() string { return fmt.Sprintf("decisions=%v", item.prefix) }
-	verr, panicked := protectedRun(describe, func() error {
-		sys, verify, runErr := w.r.run(ch)
-		if errors.Is(runErr, sim.ErrPickAbort) {
-			return nil // pruned, not an outcome
+	var verr error
+	var panicked bool
+	for attempt := 0; ; attempt++ {
+		ch.Reset(item.prefix, item.sleep)
+		wch := w.dog.arm(ch)
+		verr, panicked = protectedRun(describe, func() error {
+			sys, verify, runErr := w.r.run(wch)
+			if w.dog.fired() {
+				return nil // timed out; handled below
+			}
+			if errors.Is(runErr, sim.ErrPickAbort) {
+				return nil // pruned, not an outcome
+			}
+			if ch.Clamped || len(ch.Fanouts) < len(item.prefix) {
+				return nil // aliased; detected below from the chooser state
+			}
+			return c.outcome(sys, verify, runErr)
+		})
+		if !panicked && w.dog.fired() && attempt == 0 {
+			continue // retry a timed-out run once
 		}
-		if ch.Clamped || len(ch.Fanouts) < len(item.prefix) {
-			return nil // aliased; detected below from the chooser state
-		}
-		return c.outcome(sys, verify, runErr)
-	})
+		break
+	}
 	if panicked {
 		w.r.invalidate()
+	}
+	if !panicked && w.dog.fired() {
+		c.timedOut.Add(1)
+		c.count()
+		return
 	}
 	pruned := ch.Pruned || ch.SleepDeadlock
 	if !panicked && (ch.Clamped || len(ch.Fanouts) < len(item.prefix)) {

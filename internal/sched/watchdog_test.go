@@ -1,0 +1,136 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestWatchdogPassesThrough: while Stop reports false the wrapper is
+// transparent.
+func TestWatchdogPassesThrough(t *testing.T) {
+	inner := sim.ChooserFunc(func(sim.Decision) int { return 3 })
+	w := &sched.Watchdog{Inner: inner, Stop: func() bool { return false }, CheckEvery: 1}
+	for i := 0; i < 10; i++ {
+		if got := w.Pick(sim.Decision{}); got != 3 {
+			t.Fatalf("Pick %d = %d, want 3", i, got)
+		}
+	}
+	if w.Fired {
+		t.Fatal("Fired set without Stop reporting true")
+	}
+}
+
+// TestWatchdogFiresAndLatches: once Stop reports true every subsequent
+// Pick aborts, even if Stop later reports false again.
+func TestWatchdogFiresAndLatches(t *testing.T) {
+	stop := false
+	inner := sim.ChooserFunc(func(sim.Decision) int { return 0 })
+	w := &sched.Watchdog{Inner: inner, Stop: func() bool { return stop }, CheckEvery: 1}
+	if got := w.Pick(sim.Decision{}); got != 0 {
+		t.Fatalf("pre-stop Pick = %d, want 0", got)
+	}
+	stop = true
+	if got := w.Pick(sim.Decision{}); got != sim.PickAbort {
+		t.Fatalf("post-stop Pick = %d, want PickAbort", got)
+	}
+	if !w.Fired {
+		t.Fatal("Fired not set")
+	}
+	stop = false
+	if got := w.Pick(sim.Decision{}); got != sim.PickAbort {
+		t.Fatalf("latched Pick = %d, want PickAbort", got)
+	}
+}
+
+// TestWatchdogCheckInterval: with CheckEvery n, Stop is only consulted
+// every n decisions, so the first n-1 picks pass through even under an
+// already-expired deadline.
+func TestWatchdogCheckInterval(t *testing.T) {
+	polls := 0
+	inner := sim.ChooserFunc(func(sim.Decision) int { return 1 })
+	w := &sched.Watchdog{Inner: inner, Stop: func() bool { polls++; return true }, CheckEvery: 4}
+	for i := 0; i < 3; i++ {
+		if got := w.Pick(sim.Decision{}); got != 1 {
+			t.Fatalf("Pick %d = %d, want 1 (below check interval)", i, got)
+		}
+	}
+	if polls != 0 {
+		t.Fatalf("Stop polled %d times before the interval", polls)
+	}
+	if got := w.Pick(sim.Decision{}); got != sim.PickAbort {
+		t.Fatalf("Pick 4 = %d, want PickAbort", got)
+	}
+	if polls != 1 {
+		t.Fatalf("Stop polled %d times, want 1", polls)
+	}
+}
+
+// TestWatchdogRearm: Rearm clears the fired latch and resets the
+// check-interval counter, so the wrapper is reusable across runs.
+func TestWatchdogRearm(t *testing.T) {
+	stop := true
+	inner := sim.ChooserFunc(func(sim.Decision) int { return 2 })
+	w := &sched.Watchdog{Inner: inner, Stop: func() bool { return stop }, CheckEvery: 1}
+	if got := w.Pick(sim.Decision{}); got != sim.PickAbort || !w.Fired {
+		t.Fatalf("Pick = %d Fired = %v, want abort/fired", got, w.Fired)
+	}
+	stop = false
+	w.Rearm(inner)
+	if w.Fired {
+		t.Fatal("Rearm did not clear Fired")
+	}
+	if got := w.Pick(sim.Decision{}); got != 2 {
+		t.Fatalf("post-Rearm Pick = %d, want 2", got)
+	}
+}
+
+// TestWatchdogCutsOffRun: under a fired watchdog System.Run returns
+// ErrPickAbort instead of running to completion.
+func TestWatchdogCutsOffRun(t *testing.T) {
+	fired := false
+	w := &sched.Watchdog{
+		Inner:      &sched.Script{},
+		Stop:       func() bool { return fired },
+		CheckEvery: 1,
+	}
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 1, Chooser: w})
+	steps := 0
+	body := func(c *sim.Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Local(1)
+			steps++
+			if steps == 5 {
+				fired = true
+			}
+		}
+	}
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).AddInvocation(body)
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).AddInvocation(body)
+	err := sys.Run()
+	if err == nil || !w.Fired {
+		t.Fatalf("Run err = %v Fired = %v, want ErrPickAbort/fired", err, w.Fired)
+	}
+	if steps >= 200 {
+		t.Fatalf("run completed %d steps despite the watchdog", steps)
+	}
+}
+
+// TestWatchdogForwardsCrashes: the wrapper delegates the sim.Crasher
+// protocol, so crash injection keeps working under a deadline.
+func TestWatchdogForwardsCrashes(t *testing.T) {
+	inner := sched.NewCrash(&sched.Script{}, sched.CrashPoint{Proc: 0, Step: 1})
+	w := &sched.Watchdog{Inner: inner, Stop: func() bool { return false }, CheckEvery: 1}
+	sys := sim.New(sim.Config{Processors: 1, Quantum: 1, Chooser: w})
+	p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1})
+	p.AddInvocation(func(c *sim.Ctx) { c.Local(10) })
+	sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1}).
+		AddInvocation(func(c *sim.Ctx) { c.Local(1) })
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sys.CrashedCount() != 1 {
+		t.Fatalf("CrashedCount = %d, want 1 (crash plan lost through the watchdog)", sys.CrashedCount())
+	}
+}
