@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-json bench-gate examples experiments soak soak-resume-smoke clean
+.PHONY: all build vet lint test test-short test-race bench bench-json bench-gate examples experiments soak soak-resume-smoke server server-smoke clean
 
 all: build lint test
 
@@ -60,6 +60,17 @@ soak:
 # assert the final summary matches an uninterrupted run (DESIGN.md §11).
 soak-resume-smoke:
 	sh scripts/soak_resume_smoke.sh
+
+# Run the checker service locally (DESIGN.md §12, README "Running the
+# farm"): REST API on :8080, persistent store in ./farm.
+server:
+	$(GO) run ./cmd/server -store farm
+
+# Service smoke: boot cmd/server, drive the REST API with curl (check
+# job, violating soak, artifact fetch), SIGTERM, require a clean
+# graceful shutdown.
+server-smoke:
+	sh scripts/server_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,6 +1,8 @@
 // Command benchjson measures explorer and shrinker throughput and
-// writes a machine-readable JSON data point, the repo's bench
-// trajectory across PRs (`make bench-json` → BENCH_explore.json). The
+// appends a machine-readable JSON data point to the repo's bench
+// trajectory (`make bench-json` → BENCH_explore.json). The file is a
+// bench.History — {"latest": ..., "history": [...]} — so the newest
+// report always sits at a stable key while past runs accumulate. The
 // format is documented in EXPERIMENTS.md ("Bench trajectory").
 //
 // Usage:
@@ -98,11 +100,24 @@ func main() {
 		Reduction:  red,
 		Shrink:     shr,
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	entry, err := json.Marshal(rep)
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	// The output file is a bench.History: {"latest": <this report>,
+	// "history": [...]} — the stable `latest` key is what `make
+	// bench-gate` and the server's GET /bench read, while history keeps
+	// the trajectory across PRs. A pre-history bare report upgrades in
+	// place on the first append.
+	prev, err := os.ReadFile(*out)
+	if err != nil && !os.IsNotExist(err) {
+		fatal(err)
+	}
+	file, err := bench.AppendHistory(prev, entry)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, file, 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %s\n", *out)
@@ -126,9 +141,18 @@ func runGate(baselinePath string, drop float64) {
 	if err != nil {
 		fatal(fmt.Errorf("gate: reading baseline: %w", err))
 	}
-	var base report
-	if err := json.Unmarshal(data, &base); err != nil {
+	// ParseHistory accepts both the history wrapper and a legacy bare
+	// report, so the gate works against baselines from either era.
+	h, err := bench.ParseHistory(data)
+	if err != nil {
 		fatal(fmt.Errorf("gate: parsing baseline %s: %w", baselinePath, err))
+	}
+	if h.Latest == nil {
+		fatal(fmt.Errorf("gate: baseline %s has no entries", baselinePath))
+	}
+	var base report
+	if err := json.Unmarshal(h.Latest, &base); err != nil {
+		fatal(fmt.Errorf("gate: parsing baseline %s latest entry: %w", baselinePath, err))
 	}
 	var seqRate, redRate float64
 	for i := 0; i < gateAttempts; i++ {

@@ -7,6 +7,10 @@
 // bundle (see internal/artifact and cmd/shrink), and -minimize shrinks
 // every bundle to a minimal still-failing kernel first.
 //
+// The flags assemble an internal/service/jobspec.Check — the same
+// serializable job spec the job server (cmd/server) accepts over REST —
+// so a CLI invocation and the equivalent POSTed job run identically.
+//
 // Usage:
 //
 //	checker -alg fig3 -n 2 -q 8 -mode all
@@ -35,6 +39,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/check"
+	"repro/internal/service/jobspec"
 )
 
 func main() {
@@ -75,26 +80,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "checker: unknown -alg %q\n", *alg)
 		os.Exit(2)
 	}
-	build, err := check.BuilderFor(meta)
+	meta.WaitFreeBound = *wfBound
+	spec := &jobspec.Check{
+		Meta:          meta,
+		Mode:          *mode,
+		Budget:        *budget,
+		Seeds:         *seeds,
+		MaxSchedules:  *maxSch,
+		Parallelism:   *parallel,
+		Reduction:     *reduction,
+		Artifacts:     *artDir != "",
+		Minimize:      *minimizeF,
+		ShrinkBudget:  *shrinkBudg,
+		RunDeadlineMS: runDeadl.Milliseconds(),
+		MemSoftMB:     *memSoftMB,
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+		os.Exit(2)
+	}
+	build, err := spec.Builder()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+		os.Exit(2)
+	}
+	opts, err := spec.Options()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
 		os.Exit(2)
 	}
 
-	red, err := check.ParseReduction(*reduction)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
-		os.Exit(2)
-	}
-	opts := check.Options{MaxSchedules: *maxSch, Parallelism: *parallel, WaitFreeBound: *wfBound, Reduction: red,
-		RunDeadline: *runDeadl, MemSoftLimit: uint64(*memSoftMB) << 20}
 	if *frontOut != "" || *frontIn != "" {
-		if red != check.ReductionNone {
-			fmt.Fprintln(os.Stderr, "checker: frontier export/resume requires -reduction none (reduced explorations prune against in-memory state that a frontier cannot carry)")
-			os.Exit(2)
-		}
-		if *mode == "fuzz" {
-			fmt.Fprintln(os.Stderr, "checker: frontier export/resume is for the tree explorers (-mode all|budget), not fuzz")
+		if !spec.Durable() {
+			if *mode == "fuzz" {
+				fmt.Fprintln(os.Stderr, "checker: frontier export/resume is for the tree explorers (-mode all|budget), not fuzz")
+			} else {
+				fmt.Fprintln(os.Stderr, "checker: frontier export/resume requires -reduction none (reduced explorations prune against in-memory state that a frontier cannot carry)")
+			}
 			os.Exit(2)
 		}
 		opts.ExportFrontier = *frontOut != ""
@@ -116,11 +138,6 @@ func main() {
 		}
 		opts.SeedFrontier = f
 	}
-	if *minimizeF || *artDir != "" {
-		opts.ArtifactMeta = &meta
-		opts.Minimize = *minimizeF
-		opts.ShrinkBudget = *shrinkBudg
-	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -137,18 +154,7 @@ func main() {
 		workers = runtime.NumCPU()
 	}
 	fmt.Printf("exploring with %d workers\n", workers)
-	var res *check.Result
-	switch *mode {
-	case "all":
-		res = check.ExploreAll(build, opts)
-	case "budget":
-		res = check.ExploreBudget(build, *budget, opts)
-	case "fuzz":
-		res = check.Fuzz(build, *seeds, opts)
-	default:
-		fmt.Fprintf(os.Stderr, "checker: unknown -mode %q\n", *mode)
-		os.Exit(2)
-	}
+	res := spec.Run(build, opts)
 
 	fmt.Printf("explored %d schedules (truncated=%v)\n", res.Schedules, res.Truncated)
 	if rs := res.Reduction; rs != nil {

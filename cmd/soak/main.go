@@ -8,8 +8,19 @@
 // the same -seed (and -crash-seed) at any -parallel setting — and can be
 // saved as a replayable repro bundle.
 //
+// With -workload the campaign instead pins every run to one registered
+// workload family (e.g. lockcounter) with fixed -n/-v/-q/-waitfree-bound
+// parameters; only the seeded schedule and crash plan vary per run
+// (artifact.SeededMeta). The workload choice is part of the campaign
+// identity, so a fixed-workload state directory cannot be resumed as a
+// soakmix sweep or vice versa.
+//
 // With -crashes > 0 every run additionally injects up to that many
 // seeded random crash-stop faults.
+//
+// The flags assemble an internal/service/jobspec.Soak — the same
+// serializable job spec the job server (cmd/server) accepts over REST —
+// so a CLI invocation and the equivalent POSTed job run identically.
 //
 // The runner is a durable campaign (internal/campaign). With -state-dir
 // progress is journaled and checkpointed crash-safely: a campaign killed
@@ -18,10 +29,11 @@
 //
 //	soak -resume <dir>
 //
-// which reads the seeds back from the directory's checkpoint. -run-timeout
-// arms a per-run watchdog that turns a stuck schedule into a recorded
-// incident instead of a hang, and -mem-soft-mb sheds parallelism under
-// memory pressure rather than dying.
+// which reads the full spec (seeds and workload parameters) back from
+// the directory's checkpoint. -run-timeout arms a per-run watchdog that
+// turns a stuck schedule into a recorded incident instead of a hang, and
+// -mem-soft-mb sheds parallelism under memory pressure rather than
+// dying.
 //
 // SIGINT/SIGTERM stop gracefully: in-flight runs finish, the summary is
 // still printed, and with -state-dir the state is checkpointed for
@@ -46,6 +58,7 @@
 //	soak -runs 500 -parallel 1   # sequential
 //	soak -runs 500 -crashes 2    # crash up to 2 processes per run
 //	soak -seconds 60 -crashes 2 -artifact-dir ./soak-artifacts
+//	soak -runs 200 -workload lockcounter -n 2 -v 2 -q 4 -waitfree-bound 60
 //	soak -runs 100000 -state-dir ./campaign   # durable; kill it anytime
 //	soak -resume ./campaign                   # continue where it stopped
 package main
@@ -63,6 +76,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/service/jobspec"
 )
 
 func main() {
@@ -73,9 +87,14 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent soak workers (0 = all CPUs)")
 		crashes    = flag.Int("crashes", 0, "max crash-stop faults injected per run (capped at nprocs-1)")
 		crashSeed  = flag.Int64("crash-seed", 0, "base seed for crash injection (0 = derive from -seed)")
+		workload   = flag.String("workload", "", "pin every run to one registered workload family instead of the soakmix sweep")
+		n          = flag.Int("n", 0, "processes for a fixed -workload (0 = workload default)")
+		v          = flag.Int("v", 0, "priority levels for a fixed -workload (0 = workload default)")
+		q          = flag.Int("q", 0, "scheduling quantum for a fixed -workload (0 = workload default)")
+		wfBound    = flag.Int64("waitfree-bound", 0, "fail any fixed-workload run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
 		artDir     = flag.String("artifact-dir", "", "write failing runs as repro bundles into this directory")
 		stateDir   = flag.String("state-dir", "", "journal and checkpoint progress into this directory (crash-safe, resumable)")
-		resume     = flag.String("resume", "", "resume the campaign persisted in this state directory (seeds are read from its checkpoint)")
+		resume     = flag.String("resume", "", "resume the campaign persisted in this state directory (the spec is read from its checkpoint)")
 		runTimeout = flag.Duration("run-timeout", 0, "per-run watchdog deadline: a run exceeding it twice is recorded as an incident and skipped (0 = off)")
 		memSoftMB  = flag.Int64("mem-soft-mb", 0, "soft heap ceiling in MiB: under pressure, step worker count down instead of dying (0 = off)")
 		ckptEvery  = flag.Int64("checkpoint-every", 0, "completed runs between checkpoint snapshots (0 = default)")
@@ -83,6 +102,22 @@ func main() {
 	)
 	flag.Parse()
 
+	spec := &jobspec.Soak{
+		Workload:        *workload,
+		N:               *n,
+		V:               *v,
+		Quantum:         *q,
+		WaitFreeBound:   *wfBound,
+		Runs:            *runs,
+		Seed:            *seed,
+		CrashSeed:       *crashSeed,
+		MaxCrashes:      *crashes,
+		Parallelism:     *parallel,
+		RunDeadlineMS:   runTimeout.Milliseconds(),
+		CheckpointEvery: *ckptEvery,
+		MemSoftMB:       *memSoftMB,
+		KeepGoing:       *keepGoing,
+	}
 	dir := *stateDir
 	if *resume != "" {
 		if dir != "" && dir != *resume {
@@ -99,20 +134,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "soak: nothing to resume in %s (no checkpoint)\n", dir)
 			os.Exit(2)
 		}
-		*seed = cp.Identity.BaseSeed
-		*crashSeed = cp.Identity.CrashSeed
-		*crashes = cp.Identity.MaxCrashes
+		restored := jobspec.SoakFromIdentity(cp.Identity)
+		restored.Runs = spec.Runs
+		restored.Parallelism = spec.Parallelism
+		restored.RunDeadlineMS = spec.RunDeadlineMS
+		restored.CheckpointEvery = spec.CheckpointEvery
+		restored.MemSoftMB = spec.MemSoftMB
+		restored.KeepGoing = spec.KeepGoing
+		spec = restored
 	}
-	if *crashSeed == 0 {
-		*crashSeed = *seed ^ 0x5deece66d
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(2)
 	}
 
-	workers := *parallel
+	workers := spec.Parallelism
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	fmt.Printf("soak: base seed %d, crash seed %d, max crashes/run %d, %d workers\n",
-		*seed, *crashSeed, *crashes, workers)
+		spec.Seed, spec.ResolvedCrashSeed(), spec.MaxCrashes, workers)
+	if spec.Workload != "" {
+		fmt.Printf("soak: fixed workload %s (n=%d v=%d q=%d waitfree-bound=%d)\n",
+			spec.Workload, spec.N, spec.V, spec.Quantum, spec.WaitFreeBound)
+	}
 
 	// Graceful stop: closed by the first signal or the -seconds timer.
 	stop := make(chan struct{})
@@ -132,33 +177,24 @@ func main() {
 		os.Exit(130)
 	}()
 
-	if *runs == 0 {
+	if spec.Runs == 0 {
 		timer := time.AfterFunc(time.Duration(*seconds)*time.Second, requestStop)
 		defer timer.Stop()
 	}
 
-	res, err := campaign.Run(campaign.Config{
-		Runs:            *runs,
-		BaseSeed:        *seed,
-		CrashSeed:       *crashSeed,
-		MaxCrashes:      *crashes,
-		Parallel:        *parallel,
-		StateDir:        dir,
-		ArtifactDir:     *artDir,
-		RunTimeout:      *runTimeout,
-		CheckpointEvery: *ckptEvery,
-		MemSoftLimit:    uint64(*memSoftMB) << 20,
-		StopOnViolation: !*keepGoing,
-		Stop:            stop,
-		Log:             func(msg string) { fmt.Fprintln(os.Stderr, "soak: "+msg) },
-	})
+	cfg := spec.Config()
+	cfg.StateDir = dir
+	cfg.ArtifactDir = *artDir
+	cfg.Stop = stop
+	cfg.Log = func(msg string) { fmt.Fprintln(os.Stderr, "soak: "+msg) }
+	res, err := campaign.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
 		os.Exit(2)
 	}
 
 	s := res.State
-	interrupted := signalled.Load() || (*runs > 0 && res.Interrupted)
+	interrupted := signalled.Load() || (spec.Runs > 0 && res.Interrupted)
 	cleanRuns := s.Runs - int64(len(s.Violations)) - s.TimedOut
 	artPath := ""
 	if len(s.Violations) > 0 {
@@ -166,12 +202,12 @@ func main() {
 	}
 
 	if res.Failed() {
-		v := s.Violations[0]
-		if v.Artifact != "" {
-			fmt.Printf("soak: repro bundle written to %s\n", v.Artifact)
+		viol := s.Violations[0]
+		if viol.Artifact != "" {
+			fmt.Printf("soak: repro bundle written to %s\n", viol.Artifact)
 		}
 		fmt.Fprintf(os.Stderr, "soak: FAILED at run %d (base seed %d, crash seed %d) after %d clean runs: %s\n",
-			v.Idx, *seed, *crashSeed, cleanRuns, v.Err)
+			viol.Idx, spec.Seed, spec.ResolvedCrashSeed(), cleanRuns, viol.Err)
 		summary(&s, true, interrupted, artPath)
 		os.Exit(1)
 	}

@@ -66,6 +66,9 @@ func TestScopes(t *testing.T) {
 		{analysis.Determinism, "repro/internal/sim", true},
 		{analysis.Determinism, "repro/internal/sched", true},
 		{analysis.Determinism, "repro/internal/campaign", true},
+		{analysis.Determinism, "repro/internal/store", true},
+		{analysis.Determinism, "repro/internal/service", true},
+		{analysis.Determinism, "repro/internal/service/jobspec", true},
 		{analysis.Determinism, "repro/internal/bench", false},
 		{analysis.SimOnly, "repro/internal/unicons", true},
 		{analysis.SimOnly, "repro/internal/multicons", true},
@@ -102,7 +105,7 @@ func TestAnalyzerInventory(t *testing.T) {
 		}
 	}
 	keys := analysis.ValidKeys()
-	for _, k := range []string{"post-run", "walltime", "goroutine", "maporder", "rand", "campaign", "ctxescape", "exhaustive"} {
+	for _, k := range []string{"post-run", "walltime", "goroutine", "maporder", "rand", "campaign", "service", "ctxescape", "exhaustive"} {
 		if !keys[k] {
 			t.Errorf("ValidKeys missing %q", k)
 		}

@@ -20,6 +20,9 @@ var replayPackages = []string{
 	"repro/internal/sim",
 	"repro/internal/sched",
 	"repro/internal/campaign",
+	"repro/internal/store",
+	"repro/internal/service",
+	"repro/internal/service/jobspec",
 }
 
 // Determinism flags nondeterminism sources in the replay-sensitive
@@ -27,12 +30,18 @@ var replayPackages = []string{
 // outside the sanctioned worker pools, map iteration whose order can
 // leak into output, and GC-coupled object reuse (sync.Pool,
 // runtime.SetFinalizer). Sanctioned uses carry markers — walltime,
-// goroutine, maporder, rand, campaign — each with a reason the driver
-// validates. The campaign key is reserved for internal/campaign's
-// durability plumbing: watchdog deadlines, retry backoff, and the
-// memory monitor legitimately read real time, but only to decide WHEN
-// work runs, never WHAT a run computes — run outcomes stay a pure
-// function of the run index.
+// goroutine, maporder, rand, campaign, service — each with a reason
+// the driver validates. The campaign key is reserved for
+// internal/campaign's durability plumbing: watchdog deadlines, retry
+// backoff, and the memory monitor legitimately read real time, but
+// only to decide WHEN work runs, never WHAT a run computes — run
+// outcomes stay a pure function of the run index. The service key is
+// the same bargain one layer up: internal/service's scheduler
+// goroutines (dispatcher, job runners, cancellation watchers) decide
+// when and where jobs execute, but every job's result remains a
+// deterministic function of its spec — which is why the store and
+// jobspec packages sit in the replay set with NO sanctioned
+// nondeterminism of their own.
 // A map range is accepted without a marker in exactly one idiom: a
 // single-statement body appending keys/values to a slice, immediately
 // followed by a sort of that slice (order provably cannot escape).
@@ -47,8 +56,8 @@ var replayPackages = []string{
 // finalizers resurrect state on a GC schedule no replay controls.
 var Determinism = &Analyzer{
 	Name:      "determinism",
-	Doc:       "replay-sensitive packages (check, artifact, minimize, trace, sim, sched) must be deterministic functions of their inputs",
-	AllowKeys: []string{"walltime", "goroutine", "maporder", "rand", "campaign"},
+	Doc:       "replay-sensitive packages (check, artifact, minimize, trace, sim, sched, campaign, store, service) must be deterministic functions of their inputs",
+	AllowKeys: []string{"walltime", "goroutine", "maporder", "rand", "campaign", "service"},
 	SkipTests: true,
 	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, replayPackages...) },
 	Run:       runDeterminism,

@@ -148,6 +148,21 @@ func unmarkedDeadline(deadline time.Duration) func() bool {
 	}
 }
 
+// The service key sanctions internal/service's scheduler plumbing the
+// same way: the dispatcher, job runners, and cancellation watchers are
+// goroutines that decide when and where jobs execute, while every
+// job's result stays a deterministic function of its spec.
+func markedDispatcher(run func()) {
+	//repro:allow service the dispatcher orders job starts; job results are functions of their specs
+	go run()
+}
+
+// No blanket exemption for service code either: an unmarked spawn in
+// the service package is still flagged.
+func unmarkedDispatcher(run func()) {
+	go run() // want `goroutine spawn in a replay-sensitive package`
+}
+
 // Cache eviction must not draw unseeded randomness to pick a victim:
 // which entries survive decides which runs get pruned, so a random
 // policy would make reduced schedule counts unreproducible. Use FIFO or

@@ -310,6 +310,33 @@ func SoakMeta(base, crashBase, idx int64, maxCrashes int) (Meta, Sched) {
 	return meta, s
 }
 
+// SeededMeta derives run idx of a fixed-workload soak sweep: unlike
+// SoakMeta, the workload identity (name, N, V, Quantum, wait-freedom
+// bound) is pinned by the caller and only the schedule — a seeded
+// random chooser plus an optional seeded crash plan — varies with the
+// run index. This is how a campaign soaks a single registered family
+// (e.g. the lockcounter negative control under a wait-freedom bound)
+// instead of the randomized soakmix: every run is still a pure
+// function of (spec, idx), so the campaign resumes and replays
+// exactly. maxCrashes is capped at N-1, matching SoakMeta.
+func SeededMeta(workload string, n, v, quantum int, wfBound int64, base, crashBase, idx int64, maxCrashes int) (Meta, Sched) {
+	schedSeed := int64(uint64(base) + uint64(idx)*soakGolden)
+	meta := Meta{
+		Workload:      workload,
+		N:             n,
+		V:             v,
+		Quantum:       quantum,
+		WaitFreeBound: wfBound,
+	}
+	s := Sched{Random: true, Seed: schedSeed}
+	procs := defInt(n, 2)
+	if k := min(maxCrashes, procs-1); k > 0 {
+		s.CrashSeed = int64(uint64(crashBase) + uint64(idx)*soakGolden)
+		s.MaxCrashes = k
+	}
+	return meta, s
+}
+
 // buildSoakMix is the cmd/soak mixed workload: each of Meta.N processes
 // first runs Fig. 3 consensus, then a WorkSeed-derived mix of reclaiming
 // C&S increments, universal counter increments, and queue operations.

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// History is the shared bench-trajectory file format used by both the
+// committed BENCH_explore.json (cmd/benchjson) and the server's bench
+// store (internal/store, served at GET /bench): the most recent data
+// point lives at the stable "latest" key — which is what `make
+// bench-gate` compares against — and every appended point accumulates
+// in "history", oldest first. Entries are opaque JSON objects
+// (cmd/benchjson's report schema; see EXPERIMENTS.md "Bench
+// trajectory"), so the format survives report-schema bumps without a
+// rewrite.
+type History struct {
+	Latest  json.RawMessage   `json:"latest"`
+	History []json.RawMessage `json:"history"`
+}
+
+// HistoryCap bounds the history array: appending beyond it drops the
+// oldest entries, keeping the file size pinned across years of PRs.
+const HistoryCap = 100
+
+// ParseHistory decodes a bench file in either format: the {latest,
+// history} wrapper, or a bare legacy report (pre-wrapper
+// BENCH_explore.json), which is upgraded to a History whose single
+// entry is also its latest. nil or empty data yields an empty History.
+func ParseHistory(data []byte) (*History, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return &History{}, nil
+	}
+	h := &History{}
+	if err := json.Unmarshal(data, h); err != nil {
+		return nil, fmt.Errorf("bench: parse history: %w", err)
+	}
+	if h.Latest != nil {
+		return h, nil
+	}
+	// Legacy single-report file: no "latest" key. Keep the whole document
+	// as the one (and latest) entry.
+	var legacy map[string]json.RawMessage
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return nil, fmt.Errorf("bench: parse legacy bench file: %w", err)
+	}
+	raw := json.RawMessage(bytes.TrimSpace(data))
+	return &History{Latest: raw, History: []json.RawMessage{raw}}, nil
+}
+
+// Append adds entry as the new latest data point, retiring overflow
+// beyond HistoryCap, and returns the updated History.
+func (h *History) Append(entry json.RawMessage) *History {
+	h.Latest = entry
+	h.History = append(h.History, entry)
+	if n := len(h.History); n > HistoryCap {
+		h.History = append([]json.RawMessage(nil), h.History[n-HistoryCap:]...)
+	}
+	return h
+}
+
+// Encode renders the history file as indented JSON with a trailing
+// newline, the on-disk form shared by BENCH_explore.json and the
+// store.
+func (h *History) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encode history: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// AppendHistory is the one-shot form: parse existing (either format,
+// possibly empty), append entry, re-encode.
+func AppendHistory(existing, entry []byte) ([]byte, error) {
+	if !json.Valid(entry) {
+		return nil, fmt.Errorf("bench: appended entry is not valid JSON")
+	}
+	h, err := ParseHistory(existing)
+	if err != nil {
+		return nil, err
+	}
+	return h.Append(json.RawMessage(bytes.TrimSpace(entry))).Encode()
+}

@@ -23,6 +23,16 @@ type Config struct {
 	CrashSeed int64
 	// MaxCrashes caps injected crash-stop faults per run.
 	MaxCrashes int
+	// Workload, when non-empty and not "soakmix", pins every run to one
+	// registered workload family with the parameters below
+	// (artifact.SeededMeta): only the seeded schedule and crash plan
+	// vary with the run index. Empty selects the classic randomized
+	// soakmix sweep (artifact.SoakMeta). Part of the campaign identity.
+	Workload string
+	// N, V, Quantum and WaitFreeBound parameterize a fixed Workload
+	// (ignored for soakmix).
+	N, V, Quantum int
+	WaitFreeBound int64
 	// Parallel is the number of concurrent workers (0 = all CPUs).
 	Parallel int
 	// Derive maps a run index to the bundle to replay. Nil selects the
@@ -67,6 +77,16 @@ type Config struct {
 	// Log, if non-nil, receives human-readable campaign events
 	// (resume, degradation, durability warnings).
 	Log func(string)
+	// Progress, if non-nil, receives a cumulative snapshot every
+	// ProgressEvery completed runs (serialized under the campaign's
+	// state lock — keep the callback cheap and never call back into the
+	// campaign from it). This is the job-service streaming hook: a
+	// long-running campaign reports liveness without anyone tailing its
+	// journal.
+	Progress func(ProgressInfo)
+	// ProgressEvery is the completed-run interval between Progress
+	// calls (0 = 100).
+	ProgressEvery int64
 
 	// skipFinalCheckpoint simulates a hard kill (SIGKILL) in tests: the
 	// leg exits without the final checkpoint/compaction, leaving the
@@ -93,13 +113,44 @@ func (c Config) derive() func(int64) (artifact.Meta, artifact.Sched) {
 		return c.Derive
 	}
 	base, crash, max := c.BaseSeed, c.CrashSeed, c.MaxCrashes
+	if w := c.Workload; w != "" && w != "soakmix" {
+		n, v, q, wf := c.N, c.V, c.Quantum, c.WaitFreeBound
+		return func(idx int64) (artifact.Meta, artifact.Sched) {
+			return artifact.SeededMeta(w, n, v, q, wf, base, crash, idx, max)
+		}
+	}
 	return func(idx int64) (artifact.Meta, artifact.Sched) {
 		return artifact.SoakMeta(base, crash, idx, max)
 	}
 }
 
 func (c Config) identity() Identity {
-	return Identity{BaseSeed: c.BaseSeed, CrashSeed: c.CrashSeed, MaxCrashes: c.MaxCrashes}
+	id := Identity{BaseSeed: c.BaseSeed, CrashSeed: c.CrashSeed, MaxCrashes: c.MaxCrashes}
+	if w := c.Workload; w != "" && w != "soakmix" {
+		id.Workload = w
+		id.N, id.V, id.Quantum, id.WaitFreeBound = c.N, c.V, c.Quantum, c.WaitFreeBound
+	}
+	return id
+}
+
+func (c Config) progressEvery() int64 {
+	if c.ProgressEvery <= 0 {
+		return 100
+	}
+	return c.ProgressEvery
+}
+
+// ProgressInfo is a cumulative campaign snapshot delivered to
+// Config.Progress.
+type ProgressInfo struct {
+	// Runs is the number of completed runs so far (across resumes).
+	Runs int64
+	// Violations is the number of violations recorded so far.
+	Violations int
+	// Crashes is the total number of injected crash-stop faults.
+	Crashes int64
+	// TimedOut is the number of runs the watchdog recorded as incidents.
+	TimedOut int64
 }
 
 // Result is the outcome of one Run (one leg of a possibly-resumed
@@ -409,6 +460,10 @@ func (c *campaign) finish(idx int64, rec Record, fatal error) {
 	needCkpt := c.journal != nil && c.sinceCkpt >= c.cfg.checkpointEvery()
 	if needCkpt {
 		c.sinceCkpt = 0
+	}
+	if c.cfg.Progress != nil && c.state.Runs%c.cfg.progressEvery() == 0 {
+		c.cfg.Progress(ProgressInfo{Runs: c.state.Runs, Violations: len(c.state.Violations),
+			Crashes: c.state.Crashes, TimedOut: c.state.TimedOut})
 	}
 	c.mu.Unlock()
 

@@ -12,12 +12,26 @@ import (
 const checkpointVersion = 1
 
 // Identity pins a state directory to one campaign: resuming with
-// different seeds or crash settings would silently re-derive different
-// runs under the same indices, so a mismatch is an error, not a resume.
+// different seeds, crash settings, or workload parameters would
+// silently re-derive different runs under the same indices, so a
+// mismatch is an error, not a resume. The identity carries everything
+// the default derivations need, which is why a state directory alone
+// suffices to resume (cmd/soak -resume reads the spec back from here).
 type Identity struct {
 	BaseSeed   int64 `json:"base_seed"`
 	CrashSeed  int64 `json:"crash_seed"`
 	MaxCrashes int   `json:"max_crashes"`
+	// Workload pins a fixed-workload campaign (artifact.SeededMeta
+	// derivation) to its registered family; empty means the classic
+	// randomized soakmix sweep (artifact.SoakMeta), so pre-existing
+	// checkpoints load unchanged.
+	Workload string `json:"workload,omitempty"`
+	// N, V, Quantum and WaitFreeBound parameterize the fixed workload
+	// (unused, and zero, for soakmix).
+	N             int   `json:"n,omitempty"`
+	V             int   `json:"v,omitempty"`
+	Quantum       int   `json:"quantum,omitempty"`
+	WaitFreeBound int64 `json:"waitfree_bound,omitempty"`
 }
 
 // Violation is one property violation found by a campaign run.

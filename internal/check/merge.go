@@ -1,0 +1,29 @@
+package check
+
+// Merge folds one continuation leg's result into the cumulative result
+// of a multi-leg exploration. This is the aggregation half of frontier
+// resume (Options.ExportFrontier / Options.SeedFrontier): an
+// exploration executed as a sequence of legs — each seeded from the
+// previous leg's frontier — covers exactly the schedules of the
+// uninterrupted exploration, so summing the counts and concatenating
+// the violations across legs reproduces the uninterrupted Result's
+// totals. Monotone tallies (Schedules, ViolationsTotal, Aliased,
+// StepLimited, Steals, TimedOutRuns) add; Violations and Degradations
+// append in leg order (canonical within each leg, not across legs);
+// the latest leg's verdict-shaped fields (Truncated, Interrupted,
+// Frontier, Reduction) replace the previous ones, since only the most
+// recent leg knows whether the exploration is still unfinished.
+func (r *Result) Merge(leg *Result) {
+	r.Schedules += leg.Schedules
+	r.Violations = append(r.Violations, leg.Violations...)
+	r.ViolationsTotal += leg.ViolationsTotal
+	r.Aliased += leg.Aliased
+	r.StepLimited += leg.StepLimited
+	r.Steals += leg.Steals
+	r.TimedOutRuns += leg.TimedOutRuns
+	r.Degradations = append(r.Degradations, leg.Degradations...)
+	r.Truncated = leg.Truncated
+	r.Interrupted = leg.Interrupted
+	r.Frontier = leg.Frontier
+	r.Reduction = leg.Reduction
+}

@@ -1,0 +1,42 @@
+package check_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/check"
+)
+
+func TestResultMerge(t *testing.T) {
+	cum := &check.Result{}
+	leg1 := &check.Result{
+		Schedules: 10, ViolationsTotal: 2, Aliased: 1, StepLimited: 3, Steals: 4, TimedOutRuns: 1,
+		Violations:   []check.Violation{{Schedule: "a", Err: errors.New("x")}},
+		Degradations: []string{"d1"},
+		Truncated:    true,
+		Frontier:     &check.Frontier{},
+	}
+	leg2 := &check.Result{
+		Schedules: 5, ViolationsTotal: 1, Aliased: 2, StepLimited: 1, Steals: 1, TimedOutRuns: 2,
+		Violations:   []check.Violation{{Schedule: "b", Err: errors.New("y")}},
+		Degradations: []string{"d2"},
+		Truncated:    false,
+		Frontier:     nil,
+	}
+	cum.Merge(leg1)
+	cum.Merge(leg2)
+	if cum.Schedules != 15 || cum.ViolationsTotal != 3 || cum.Aliased != 3 ||
+		cum.StepLimited != 4 || cum.Steals != 5 || cum.TimedOutRuns != 3 {
+		t.Fatalf("tallies wrong: %+v", cum)
+	}
+	if len(cum.Violations) != 2 || cum.Violations[0].Schedule != "a" || cum.Violations[1].Schedule != "b" {
+		t.Fatalf("violations not appended in leg order: %+v", cum.Violations)
+	}
+	if len(cum.Degradations) != 2 {
+		t.Fatalf("degradations not appended: %v", cum.Degradations)
+	}
+	// Verdict-shaped fields come from the latest leg only.
+	if cum.Truncated || cum.Frontier != nil {
+		t.Fatalf("latest-leg fields not replaced: truncated=%v frontier=%v", cum.Truncated, cum.Frontier)
+	}
+}

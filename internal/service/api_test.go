@@ -1,0 +1,369 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// newFarm builds a service + HTTP test server over a fresh store.
+func newFarm(t *testing.T, cfg service.Config) (*service.Service, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// doJSON issues a request and decodes the JSON response.
+func doJSON(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("%s %s: non-JSON response %q", method, url, data)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// waitJob polls a job's status until pred accepts it.
+func waitJob(t *testing.T, svc *service.Service, id string, what string, pred func(service.Status) bool) service.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := svc.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s; last status %+v", id, what, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func isTerminal(st service.Status) bool {
+	switch st.State {
+	case service.StateCancelled, service.StateDone, service.StateFailed, service.StateError:
+		return true
+	}
+	return false
+}
+
+const uniconsAll = `{"kind":"check","check":{"meta":{"workload":"unicons","n":2,"v":1,"quantum":8,"max_steps":262144},"mode":"all"}}`
+
+func TestSubmitAndCompleteCheckJob(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{GlobalWorkers: 1, MaxActiveJobs: 1, LegSchedules: 50})
+	defer svc.Stop()
+	code, resp := doJSON(t, "POST", ts.URL+"/jobs", uniconsAll)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %v", code, resp)
+	}
+	id := resp["id"].(string)
+	if !store.ValidJobID(id) {
+		t.Fatalf("bad job id %q", id)
+	}
+	st := waitJob(t, svc, id, "terminal", isTerminal)
+	// unicons N=2 Q=8 is the paper's correct configuration: the full
+	// 114-schedule space is clean, split across 50-schedule legs.
+	if st.State != service.StateDone || st.Schedules != 114 || st.Violations != 0 || st.Legs < 2 {
+		t.Fatalf("unexpected terminal status: %+v", st)
+	}
+	code, got := doJSON(t, "GET", ts.URL+"/jobs/"+id, "")
+	if code != http.StatusOK || got["state"] != service.StateDone {
+		t.Fatalf("GET job: %d %v", code, got)
+	}
+	code, list := doJSON(t, "GET", ts.URL+"/jobs", "")
+	if code != http.StatusOK || len(list["jobs"].([]any)) != 1 {
+		t.Fatalf("GET jobs: %d %v", code, list)
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{})
+	defer svc.Stop()
+	cases := []string{
+		`{not json`,
+		`{"kind":"mystery"}`,
+		`{"kind":"check"}`,
+		`{"kind":"check","check":{"meta":{"workload":"nope"},"mode":"all"}}`,
+		`{"kind":"check","check":{"meta":{"workload":"unicons","quantum":8},"mode":"mystery"}}`,
+		`{"kind":"soak","soak":{"workload":"nope","seed":1}}`,
+	}
+	for _, body := range cases {
+		code, resp := doJSON(t, "POST", ts.URL+"/jobs", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("submit %q: code %d (%v), want 400", body, code, resp)
+		}
+	}
+	if jobs := svc.Jobs(); len(jobs) != 0 {
+		t.Fatalf("rejected submissions created jobs: %v", jobs)
+	}
+}
+
+func TestUnknownJobRoutes(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{})
+	defer svc.Stop()
+	for _, route := range []struct{ method, path string }{
+		{"GET", "/jobs/job-999999"},
+		{"GET", "/jobs/not-an-id"},
+		{"GET", "/jobs/job-999999/events"},
+		{"DELETE", "/jobs/job-999999"},
+	} {
+		code, _ := doJSON(t, route.method, ts.URL+route.path, "")
+		if code != http.StatusNotFound {
+			t.Errorf("%s %s: code %d, want 404", route.method, route.path, code)
+		}
+	}
+}
+
+func TestCancelLifecycle(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{GlobalWorkers: 1, MaxActiveJobs: 1})
+	defer svc.Stop()
+	// An unbounded soak runs until stopped — the deterministic way to
+	// have a job alive when the cancel lands.
+	code, resp := doJSON(t, "POST", ts.URL+"/jobs", `{"kind":"soak","soak":{"runs":0,"seed":1}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %v", code, resp)
+	}
+	id := resp["id"].(string)
+	waitJob(t, svc, id, "running", func(st service.Status) bool { return st.State == service.StateRunning })
+	code, _ = doJSON(t, "DELETE", ts.URL+"/jobs/"+id, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel running job: code %d, want 202", code)
+	}
+	st := waitJob(t, svc, id, "cancelled", isTerminal)
+	if st.State != service.StateCancelled {
+		t.Fatalf("cancelled job ended as %s", st.State)
+	}
+	// Cancelling a terminal job conflicts.
+	code, _ = doJSON(t, "DELETE", ts.URL+"/jobs/"+id, "")
+	if code != http.StatusConflict {
+		t.Fatalf("cancel terminal job: code %d, want 409", code)
+	}
+}
+
+func TestQueueBoundsAndRejection(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{GlobalWorkers: 1, MaxActiveJobs: 1, QueueDepth: 1})
+	defer svc.Stop()
+	soak := `{"kind":"soak","soak":{"runs":0,"seed":%d}}`
+	// Job 1 occupies the single run slot.
+	code, resp := doJSON(t, "POST", ts.URL+"/jobs", fmt.Sprintf(soak, 1))
+	if code != http.StatusCreated {
+		t.Fatalf("submit 1: %d %v", code, resp)
+	}
+	id1 := resp["id"].(string)
+	waitJob(t, svc, id1, "running", func(st service.Status) bool { return st.State == service.StateRunning })
+	// Job 2 is picked up by the dispatcher, which then blocks waiting
+	// for the slot; wait until it has left the queue.
+	code, resp = doJSON(t, "POST", ts.URL+"/jobs", fmt.Sprintf(soak, 2))
+	if code != http.StatusCreated {
+		t.Fatalf("submit 2: %d %v", code, resp)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, health := doJSON(t, "GET", ts.URL+"/healthz", "")
+		if code != http.StatusOK {
+			t.Fatalf("healthz: %d", code)
+		}
+		if health["queued"].(float64) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never drained the queue")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Job 3 fills the queue (the dispatcher is blocked on the slot and
+	// cannot pop it); job 4 must bounce with 503.
+	code, _ = doJSON(t, "POST", ts.URL+"/jobs", fmt.Sprintf(soak, 3))
+	if code != http.StatusCreated {
+		t.Fatalf("submit 3: %d", code)
+	}
+	code, resp = doJSON(t, "POST", ts.URL+"/jobs", fmt.Sprintf(soak, 4))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit over full queue: code %d (%v), want 503", code, resp)
+	}
+}
+
+func TestEventsStreamAndSinceParam(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{GlobalWorkers: 1, MaxActiveJobs: 1, LegSchedules: 50})
+	defer svc.Stop()
+	_, resp := doJSON(t, "POST", ts.URL+"/jobs", uniconsAll)
+	id := resp["id"].(string)
+	waitJob(t, svc, id, "terminal", isTerminal)
+
+	// A terminal job's stream is complete: the handler returns it whole
+	// and closes.
+	httpResp, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if ct := httpResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []service.Event
+	sc := bufio.NewScanner(httpResp.Body)
+	for sc.Scan() {
+		var e service.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) < 3 {
+		t.Fatalf("only %d events", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != int64(i)+1 {
+			t.Fatalf("event %d has seq %d; stream must be dense from 1", i, e.Seq)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || !strings.HasPrefix(last.Text, service.StateDone) {
+		t.Fatalf("last event %+v, want terminal state", last)
+	}
+
+	// ?since resumes mid-stream.
+	httpResp2, err := http.Get(fmt.Sprintf("%s/jobs/%s/events?since=%d", ts.URL, id, events[1].Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp2.Body.Close()
+	rest, err := io.ReadAll(httpResp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(rest)), "\n") + 1
+	if lines != len(events)-2 {
+		t.Fatalf("since=%d returned %d events, want %d", events[1].Seq, lines, len(events)-2)
+	}
+
+	code, _ := doJSON(t, "GET", ts.URL+"/jobs/"+id+"/events?since=banana", "")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad since: code %d, want 400", code)
+	}
+}
+
+func TestArtifactEndpoints(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{GlobalWorkers: 1, MaxActiveJobs: 1})
+	defer svc.Stop()
+	// A short lockcounter soak under a wait-free bound reliably yields
+	// violations, whose bundles land in the content store.
+	body := `{"kind":"soak","soak":{"workload":"lockcounter","n":2,"v":2,"quantum":4,"waitfree_bound":60,"runs":20,"seed":7,"keep_going":true}}`
+	code, resp := doJSON(t, "POST", ts.URL+"/jobs", body)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %v", code, resp)
+	}
+	id := resp["id"].(string)
+	st := waitJob(t, svc, id, "terminal", isTerminal)
+	if st.State != service.StateFailed || len(st.Artifacts) == 0 {
+		t.Fatalf("lockcounter soak: %+v, want failed with artifacts", st)
+	}
+	code, list := doJSON(t, "GET", ts.URL+"/artifacts", "")
+	if code != http.StatusOK || len(list["artifacts"].([]any)) == 0 {
+		t.Fatalf("artifact list: %d %v", code, list)
+	}
+	key := st.Artifacts[0]
+	code, bundle := doJSON(t, "GET", ts.URL+"/artifacts/"+key, "")
+	if code != http.StatusOK {
+		t.Fatalf("artifact fetch: %d", code)
+	}
+	if meta, ok := bundle["meta"].(map[string]any); !ok || meta["workload"] != "lockcounter" {
+		t.Fatalf("artifact bundle meta: %v", bundle["meta"])
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/artifacts/0000000000000000000000000000000000000000000000000000000000000000", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown artifact: code %d, want 404", code)
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/artifacts/not-a-key", "")
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed artifact key: code %d, want 400", code)
+	}
+}
+
+func TestBenchEndpoints(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{})
+	defer svc.Stop()
+	code, _ := doJSON(t, "POST", ts.URL+"/bench", `{"schema":3,"run":1}`)
+	if code != http.StatusCreated {
+		t.Fatalf("bench append: code %d", code)
+	}
+	code, _ = doJSON(t, "POST", ts.URL+"/bench", `{broken`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid bench entry: code %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := bench.ParseHistory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latest struct {
+		Run int `json:"run"`
+	}
+	if len(h.History) != 1 {
+		t.Fatalf("bench history has %d entries, want 1", len(h.History))
+	}
+	if err := json.Unmarshal(h.Latest, &latest); err != nil || latest.Run != 1 {
+		t.Fatalf("bench latest %s (err %v)", h.Latest, err)
+	}
+}
+
+func TestHealthzAndShutdownRejection(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{})
+	code, health := doJSON(t, "GET", ts.URL+"/healthz", "")
+	if code != http.StatusOK || health["ok"] != true {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	svc.Stop()
+	code, _ = doJSON(t, "POST", ts.URL+"/jobs", uniconsAll)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after Stop: code %d, want 503", code)
+	}
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"sync"
+)
+
+// Event is one entry in a job's progress stream. Events carry sequence
+// numbers, not wall-clock timestamps: the stream is a deterministic
+// record of what the job did, and `GET /jobs/{id}/events?since=N`
+// resumes it from any point.
+type Event struct {
+	// Seq is the event's position in the job's stream (monotone from 1).
+	Seq int64 `json:"seq"`
+	// Type classifies the event: state | progress | leg | violation |
+	// artifact | log.
+	Type string `json:"type"`
+	// Text is the human-readable payload.
+	Text string `json:"text"`
+}
+
+// eventCap bounds the retained tail of a job's event stream; older
+// events are dropped from the front (their sequence numbers remain
+// burned, so a late subscriber can detect the gap).
+const eventCap = 4096
+
+// eventLog is an append-only, bounded, subscribable event stream. Each
+// append wakes every waiting subscriber by closing the current wake
+// channel and installing a fresh one — subscribers re-snapshot and wait
+// on the new channel, so no subscriber can miss an event or block an
+// appender.
+type eventLog struct {
+	mu     sync.Mutex
+	base   int64 // seq of events[0] minus 1 (seqs start at 1)
+	events []Event
+	wake   chan struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append adds one event and wakes subscribers. Appends after close are
+// dropped (the job is terminal; nothing meaningful can follow).
+func (l *eventLog) append(typ, text string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	seq := l.base + int64(len(l.events)) + 1
+	l.events = append(l.events, Event{Seq: seq, Type: typ, Text: text})
+	if len(l.events) > eventCap {
+		drop := len(l.events) - eventCap
+		l.events = append(l.events[:0], l.events[drop:]...)
+		l.base += int64(drop)
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// close marks the stream complete and wakes subscribers one last time.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// after returns the retained events with Seq > since, the channel that
+// will be closed on the next append, and whether the stream is
+// complete. A subscriber loops: deliver the batch, then wait on wake
+// unless done.
+func (l *eventLog) after(since int64) (evs []Event, wake <-chan struct{}, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if e.Seq > since {
+			evs = append(evs, e)
+		}
+	}
+	return evs, l.wake, l.closed
+}
