@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-json bench-gate examples experiments soak soak-resume-smoke server server-smoke clean
+.PHONY: all build vet lint lint-report test test-short test-race bench bench-json bench-gate examples experiments soak soak-resume-smoke server server-smoke clean
 
 all: build lint test
 
@@ -14,11 +14,21 @@ vet:
 
 # Static analysis: go vet plus the repo's own reprolint suite, which
 # machine-checks the atomic-statement model (atomicaccess, ctxescape,
-# simonly, exhaustive) and the artifact replay-determinism contract
-# (determinism), including //repro:allow marker validation. The repo
-# must lint clean; see DESIGN.md §9.
+# simonly, exhaustive), the artifact replay-determinism contract
+# (determinism), and the wait-freedom discipline (waitfreebound,
+# statementcharge) — including //repro:allow and //repro:bound marker
+# validation. Incremental: results are cached under .reprolint-cache/
+# keyed by content hashes, so warm runs re-check only what changed. The
+# repo must lint clean; see DESIGN.md §9 and §13.
 lint: vet
 	$(GO) run ./cmd/reprolint ./...
+
+# CI form of the lint: GitHub annotations to the log, then (from the
+# now-warm cache) the SARIF log and derived bounds report for artifact
+# upload.
+lint-report:
+	$(GO) run ./cmd/reprolint -format=github ./...
+	$(GO) run ./cmd/reprolint -format=sarif -o reprolint.sarif -bounds bounds.json ./...
 
 test:
 	$(GO) test ./...

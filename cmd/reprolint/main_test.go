@@ -1,29 +1,54 @@
 package main
 
 import (
-	"os"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // TestRepoLintsClean is the dogfood gate: the repo itself must produce
-// zero findings, with every //repro:allow marker load-bearing. Because
-// marker suppression is the only way a marker counts as used, this
-// single assertion also proves that removing any marker (or the finding
-// it covers) fails the lint.
+// zero findings, with every //repro:allow and //repro:bound marker
+// load-bearing. Because marker consumption is the only way a marker
+// counts as used, this single assertion also proves that removing any
+// marker (or the finding/loop it covers) fails the lint — in
+// particular, baseline.LockCounter's spin loop fails waitfreebound the
+// moment its `unbounded` marker is deleted.
 func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module from source; skipped in -short")
 	}
-	wd, err := os.Getwd()
+	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer os.Chdir(wd)
-	diags, err := run(true)
+	res, err := analysis.RunDriver(analysis.DriverOptions{
+		Root:  root,
+		Tests: true,
+		// Hermetic: never read or write the working tree's cache.
+		Cache: false,
+	})
 	if err != nil {
 		t.Fatalf("reprolint: %v", err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		t.Errorf("%s", d)
+	}
+
+	// The derived bounds report must re-derive the paper's Theorem 1
+	// constant from source: unicons.Decide is exactly 8 statements,
+	// with no incompleteness caveats.
+	var decide *analysis.OpBound
+	for i := range res.Bounds.Ops {
+		op := &res.Bounds.Ops[i]
+		if op.Func == "(*repro/internal/unicons.Object).Decide" {
+			decide = op
+		}
+	}
+	if decide == nil {
+		t.Fatal("bounds report is missing unicons.Decide")
+	}
+	if decide.Bound != "8" || len(decide.Incomplete) != 0 {
+		t.Errorf("unicons.Decide derived bound = %q (incomplete %v), want exactly 8",
+			decide.Bound, decide.Incomplete)
 	}
 }

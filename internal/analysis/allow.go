@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -18,34 +19,76 @@ import (
 // marker that suppresses no diagnostic, so annotations cannot rot.
 const allowPrefix = "//repro:allow"
 
-// A Marker is one parsed //repro:allow comment.
+// boundPrefix introduces a loop/recursion bound annotation:
+//
+//	//repro:bound <expr> <reason...>
+//
+// where <expr> is a ParseBound expression over the BoundParams
+// vocabulary (e.g. `m`, `threshold+1`, `2*l+m`, `unbounded`) and
+// <reason> is free text arguing why the bound holds. The waitfreebound
+// analyzer consumes the marker for a loop or recursion cycle it cannot
+// bound syntactically; like allow markers, bound markers must be
+// load-bearing — one attached to a loop the analyzer already bounds on
+// its own is reported stale.
+const boundPrefix = "//repro:bound"
+
+// Marker kinds.
+const (
+	markerAllow = "allow"
+	markerBound = "bound"
+)
+
+// A Marker is one parsed //repro:allow or //repro:bound comment.
 type Marker struct {
-	Pos    token.Position
+	Pos token.Position
+	// Kind is markerAllow or markerBound.
+	Kind string
+	// Key is the allow key, or the raw bound expression text.
 	Key    string
 	Reason string
+	// Bound is the parsed expression for well-formed bound markers.
+	Bound *Bound
+	// BoundErr holds the parse error for malformed bound expressions.
+	BoundErr string
 	// Standalone reports the marker occupies its own line (so it covers
 	// the line below rather than its own).
 	Standalone bool
-	// Used is set when the marker suppresses at least one diagnostic.
+	// Used is set when the marker suppresses at least one diagnostic
+	// (allow) or bounds at least one loop or recursion cycle (bound).
 	Used bool
 }
 
-// collectMarkers parses every //repro:allow marker in files.
+// collectMarkers parses every //repro:allow and //repro:bound marker in
+// files.
 func collectMarkers(fset *token.FileSet, files []*ast.File) []*Marker {
 	var ms []*Marker
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
+				kind, rest := markerAllow, ""
+				switch {
+				case strings.HasPrefix(c.Text, allowPrefix):
+					rest = strings.TrimPrefix(c.Text, allowPrefix)
+				case strings.HasPrefix(c.Text, boundPrefix):
+					kind = markerBound
+					rest = strings.TrimPrefix(c.Text, boundPrefix)
+				default:
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, allowPrefix)
 				pos := fset.Position(c.Pos())
-				m := &Marker{Pos: pos, Standalone: onOwnLine(fset, f, c)}
+				m := &Marker{Pos: pos, Kind: kind, Standalone: onOwnLine(fset, f, c)}
 				fields := strings.Fields(rest)
 				if len(fields) > 0 {
 					m.Key = fields[0]
 					m.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				if kind == markerBound && m.Key != "" {
+					b, err := ParseBound(m.Key)
+					if err != nil {
+						m.BoundErr = err.Error()
+					} else {
+						m.Bound = b
+					}
 				}
 				ms = append(ms, m)
 			}
@@ -78,14 +121,14 @@ func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 	return own
 }
 
-// markerFor returns a marker covering pos whose key is in keys, or nil.
+// markerFor returns an allow marker covering pos whose key is in keys,
+// or nil.
 func (pkg *Package) markerFor(pos token.Position, keys []string) *Marker {
 	for _, m := range pkg.Markers {
-		if m.Pos.Filename != pos.Filename || m.Reason == "" {
+		if m.Kind != markerAllow || m.Pos.Filename != pos.Filename || m.Reason == "" {
 			continue
 		}
-		covers := m.Pos.Line == pos.Line || (m.Standalone && m.Pos.Line == pos.Line-1)
-		if !covers {
+		if !m.covers(pos) {
 			continue
 		}
 		for _, k := range keys {
@@ -95,6 +138,40 @@ func (pkg *Package) markerFor(pos token.Position, keys []string) *Marker {
 		}
 	}
 	return nil
+}
+
+// covers reports whether m annotates the source line of pos: its own
+// line, or the line below for a marker alone on its line.
+func (m *Marker) covers(pos token.Position) bool {
+	return m.Pos.Line == pos.Line || (m.Standalone && m.Pos.Line == pos.Line-1)
+}
+
+// boundMarkerFor returns a well-formed bound marker covering pos whose
+// expression mentions only known model parameters, or nil. Malformed
+// and unknown-parameter markers are left for MarkerProblems to report
+// (and the uncovered loop is reported too — a broken marker bounds
+// nothing).
+func (pkg *Package) boundMarkerFor(pos token.Position) *Marker {
+	for _, m := range pkg.Markers {
+		if m.Kind != markerBound || m.Bound == nil || m.Reason == "" {
+			continue
+		}
+		if m.Pos.Filename == pos.Filename && m.covers(pos) && unknownBoundParam(m.Bound) == "" {
+			return m
+		}
+	}
+	return nil
+}
+
+// unknownBoundParam returns the first symbol in b outside the
+// BoundParams vocabulary, or "".
+func unknownBoundParam(b *Bound) string {
+	for _, s := range b.Syms() {
+		if !boundParams[s] {
+			return s
+		}
+	}
+	return ""
 }
 
 // ValidKeys is the set of marker keys any analyzer honors. Markers with
@@ -110,23 +187,39 @@ func ValidKeys() map[string]bool {
 }
 
 // MarkerProblems validates pkg's markers after every analyzer has run:
-// a marker with an empty reason, an unknown key, or that suppressed no
-// diagnostic (stale) is itself a diagnostic — the allow grammar is
+// a marker with an empty reason, an unknown key, a malformed or
+// unknown-parameter bound expression, or that suppressed/bounded
+// nothing (stale) is itself a diagnostic — the marker grammar is
 // machine-checked and annotations cannot rot.
 func MarkerProblems(pkg *Package) []Diagnostic {
 	valid := ValidKeys()
 	var out []Diagnostic
+	report := func(m *Marker, format string, args ...any) {
+		out = append(out, Diagnostic{Pos: m.Pos, Analyzer: "allowmarker",
+			Message: fmt.Sprintf(format, args...)})
+	}
 	for _, m := range pkg.Markers {
+		if m.Kind == markerBound {
+			switch {
+			case m.Key == "" || m.Reason == "":
+				report(m, "malformed //repro:bound marker: want //repro:bound <expr> <reason>")
+			case m.BoundErr != "":
+				report(m, "malformed //repro:bound expression %q: %s", m.Key, m.BoundErr)
+			case unknownBoundParam(m.Bound) != "":
+				report(m, "//repro:bound expression %q mentions unknown model parameter %q (known: %s)",
+					m.Key, unknownBoundParam(m.Bound), strings.Join(BoundParams(), " "))
+			case !m.Used:
+				report(m, "stale //repro:bound %s marker bounds no loop or recursion cycle; delete it", m.Key)
+			}
+			continue
+		}
 		switch {
 		case m.Key == "" || m.Reason == "":
-			out = append(out, Diagnostic{Pos: m.Pos, Analyzer: "allowmarker",
-				Message: "malformed //repro:allow marker: want //repro:allow <key> <reason>"})
+			report(m, "malformed //repro:allow marker: want //repro:allow <key> <reason>")
 		case !valid[m.Key]:
-			out = append(out, Diagnostic{Pos: m.Pos, Analyzer: "allowmarker",
-				Message: "unknown //repro:allow key " + m.Key})
+			report(m, "unknown //repro:allow key %s", m.Key)
 		case !m.Used:
-			out = append(out, Diagnostic{Pos: m.Pos, Analyzer: "allowmarker",
-				Message: "stale //repro:allow " + m.Key + " marker suppresses no finding; delete it"})
+			report(m, "stale //repro:allow %s marker suppresses no finding; delete it", m.Key)
 		}
 	}
 	return out

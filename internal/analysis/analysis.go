@@ -67,6 +67,7 @@ type Pass struct {
 	// IsTest reports whether a file is a _test.go file.
 	IsTest func(*ast.File) bool
 
+	pkg   *Package
 	diags *[]Diagnostic
 }
 
@@ -112,6 +113,7 @@ func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
 		IsTest:   func(f *ast.File) bool { return pkg.TestFiles[f] },
+		pkg:      pkg,
 		diags:    &diags,
 	}
 	if err := a.Run(pass); err != nil {
@@ -147,6 +149,8 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		SimOnly,
 		Exhaustive,
+		WaitFreeBound,
+		StatementCharge,
 	}
 }
 

@@ -55,6 +55,43 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) []*analysis.Package {
 	return pkgs
 }
 
+// RunMarkers loads the fixture package rooted at dir, runs every
+// analyzer in as over each of its packages (primary and external test),
+// then validates the fixture's //repro:allow and //repro:bound markers
+// with analysis.MarkerProblems, and checks the combined diagnostics
+// against the dir's `// want` expectations in one pass. Use this for
+// fixtures exercising marker grammar and staleness, where the
+// diagnostics of several packages and the marker validator must be
+// reconciled against one set of expectations.
+func RunMarkers(t *testing.T, dir string, as ...*analysis.Analyzer) []*analysis.Package {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadDir(abs, fixturePath(abs), true)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages in %s", dir)
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range as {
+			ds, err := pkg.Run(a)
+			if err != nil {
+				t.Fatalf("analysistest: run %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			diags = append(diags, ds...)
+		}
+		diags = append(diags, analysis.MarkerProblems(pkg)...)
+	}
+	checkWants(t, abs, diags)
+	return pkgs
+}
+
 // fixturePath synthesizes a stable module-internal import path for a
 // fixture directory so AppliesTo-style filters (bypassed here) and
 // diagnostics have something meaningful to print.

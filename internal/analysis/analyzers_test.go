@@ -31,6 +31,65 @@ func TestExhaustive(t *testing.T) {
 	assertNoStaleMarkers(t, pkgs)
 }
 
+func TestWaitFreeBound(t *testing.T) {
+	// RunMarkers also validates the fixture's //repro:bound markers:
+	// every one must be load-bearing.
+	pkgs := analysistest.RunMarkers(t, "testdata/waitfreebound", analysis.WaitFreeBound)
+	// The fixture's Decide mirrors unicons.Decide's statement shape; its
+	// derived worst-case cost must be exactly 8, with no caveats.
+	const decide = "(*repro/internal/analysis/testdata/waitfreebound.Object).Decide"
+	for _, pkg := range pkgs {
+		facts := pkg.Facts()
+		if facts == nil || facts.Funcs[decide] == nil {
+			continue
+		}
+		ff := facts.Funcs[decide]
+		if !ff.Op {
+			t.Errorf("Decide not classified as an operation")
+		}
+		if got := ff.Cost.String(); got != "8" {
+			t.Errorf("Decide derived cost = %s, want 8", got)
+		}
+		if len(ff.Incomplete) != 0 {
+			t.Errorf("Decide cost incomplete: %v", ff.Incomplete)
+		}
+		return
+	}
+	t.Fatalf("no package exported a fact for %s", decide)
+}
+
+func TestStatementCharge(t *testing.T) {
+	pkgs := analysistest.Run(t, analysis.StatementCharge, "testdata/statementcharge")
+	assertNoStaleMarkers(t, pkgs)
+}
+
+// TestBoundMarkers exercises the marker validator's bound-specific
+// cases — malformed expressions, unknown model parameters, stale
+// markers — including markers in an external _test package, which are
+// stale by construction (the bound analyzers skip test files).
+func TestBoundMarkers(t *testing.T) {
+	analysistest.RunMarkers(t, "testdata/boundmarkers", analysis.WaitFreeBound)
+}
+
+// TestBoundMarkerMissingReason covers the one grammar error a fixture
+// `// want` comment cannot express: trailing text after the expression
+// becomes the reason, so a reasonless marker must be built directly.
+func TestBoundMarkerMissingReason(t *testing.T) {
+	pkg := &analysis.Package{Markers: []*analysis.Marker{
+		{Kind: "bound", Key: "n", Reason: ""},
+		{Kind: "bound", Key: "", Reason: ""},
+	}}
+	problems := analysis.MarkerProblems(pkg)
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(problems), problems)
+	}
+	for _, p := range problems {
+		if !strings.Contains(p.Message, "malformed //repro:bound marker: want //repro:bound <expr> <reason>") {
+			t.Errorf("problem = %q, want the malformed-marker message", p.Message)
+		}
+	}
+}
+
 // assertNoStaleMarkers re-validates that every fixture marker was
 // load-bearing for the analyzer under test.
 func assertNoStaleMarkers(t *testing.T, pkgs []*analysis.Package) {
@@ -79,6 +138,15 @@ func TestScopes(t *testing.T) {
 		{analysis.SimOnly, "repro/internal/baseline", true},
 		{analysis.SimOnly, "repro/internal/baseline_test", true},
 		{analysis.SimOnly, "repro/internal/check", false},
+		{analysis.WaitFreeBound, "repro/internal/unicons", true},
+		{analysis.WaitFreeBound, "repro/internal/unicons_test", true},
+		{analysis.WaitFreeBound, "repro/internal/core", true},
+		{analysis.WaitFreeBound, "repro/internal/check", false},
+		{analysis.WaitFreeBound, "repro/internal/mem", false},
+		{analysis.StatementCharge, "repro/internal/qlocal", true},
+		{analysis.StatementCharge, "repro/internal/core", true},
+		{analysis.StatementCharge, "repro/internal/sim", false},
+		{analysis.StatementCharge, "repro/internal/check", false},
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo == nil || c.a.AppliesTo(c.pkg); got != c.want {
@@ -91,7 +159,7 @@ func TestScopes(t *testing.T) {
 }
 
 func TestAnalyzerInventory(t *testing.T) {
-	want := []string{"atomicaccess", "ctxescape", "determinism", "simonly", "exhaustive"}
+	want := []string{"atomicaccess", "ctxescape", "determinism", "simonly", "exhaustive", "waitfreebound", "statementcharge"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
@@ -105,7 +173,7 @@ func TestAnalyzerInventory(t *testing.T) {
 		}
 	}
 	keys := analysis.ValidKeys()
-	for _, k := range []string{"post-run", "walltime", "goroutine", "maporder", "rand", "campaign", "service", "ctxescape", "exhaustive"} {
+	for _, k := range []string{"post-run", "walltime", "goroutine", "maporder", "rand", "campaign", "service", "ctxescape", "exhaustive", "charge"} {
 		if !keys[k] {
 			t.Errorf("ValidKeys missing %q", k)
 		}

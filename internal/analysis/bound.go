@@ -1,0 +1,514 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Bound is a symbolic worst-case count: a small expression tree over
+// integer constants and model parameters (n, p, v, k, m, ...). The
+// waitfreebound analyzer derives one per function (worst-case atomic
+// statements per invocation) and one per loop (worst-case trip count);
+// `//repro:bound <expr> <reason>` markers parse to one.
+//
+// Bounds form a join-semilattice with Unbounded as top: any arithmetic
+// over Unbounded is Unbounded, except multiplication by the constant 0
+// (a loop whose body charges no statement costs nothing however often
+// it spins — termination is enforced separately, by the marker
+// discipline, not by the cost algebra).
+type Bound struct {
+	Kind string   `json:"kind"`           // "const", "sym", "add", "sub", "mul", "max", "unbounded"
+	N    int64    `json:"n,omitempty"`    // Kind "const"
+	Sym  string   `json:"sym,omitempty"`  // Kind "sym"
+	Args []*Bound `json:"args,omitempty"` // Kind "add"/"sub"/"mul"/"max"
+}
+
+// Bound kinds.
+const (
+	boundConst     = "const"
+	boundSym       = "sym"
+	boundAdd       = "add"
+	boundSub       = "sub"
+	boundMul       = "mul"
+	boundMax       = "max"
+	boundUnbounded = "unbounded"
+)
+
+// BConst returns the constant bound n.
+func BConst(n int64) *Bound { return &Bound{Kind: boundConst, N: n} }
+
+// BSym returns the symbolic bound named s (a model parameter or an
+// opaque source expression such as "len(o.cells)").
+func BSym(s string) *Bound { return &Bound{Kind: boundSym, Sym: s} }
+
+// BUnbounded returns the top element: no static bound.
+func BUnbounded() *Bound { return &Bound{Kind: boundUnbounded} }
+
+// IsConst reports whether b is the constant n.
+func (b *Bound) IsConst(n int64) bool {
+	return b != nil && b.Kind == boundConst && b.N == n
+}
+
+// Unbounded reports whether b contains no static bound.
+func (b *Bound) Unbounded() bool { return b != nil && b.Kind == boundUnbounded }
+
+// BAdd returns the simplified sum of bounds; nil operands count as 0.
+func BAdd(bs ...*Bound) *Bound {
+	var (
+		c    int64
+		rest []*Bound
+	)
+	for _, b := range bs {
+		switch {
+		case b == nil:
+		case b.Kind == boundUnbounded:
+			return BUnbounded()
+		case b.Kind == boundConst:
+			c += b.N
+		case b.Kind == boundAdd:
+			inner := BAdd(b.Args...)
+			if inner.Unbounded() {
+				return BUnbounded()
+			}
+			if inner.Kind == boundAdd {
+				rest = append(rest, inner.Args...)
+			} else if !inner.IsConst(0) {
+				rest = append(rest, inner)
+			}
+		default:
+			rest = append(rest, b)
+		}
+	}
+	// Re-fold constants that surfaced from nested adds.
+	flat := rest[:0]
+	for _, b := range rest {
+		if b.Kind == boundConst {
+			c += b.N
+		} else {
+			flat = append(flat, b)
+		}
+	}
+	if c != 0 {
+		flat = append(flat, BConst(c))
+	}
+	switch len(flat) {
+	case 0:
+		return BConst(0)
+	case 1:
+		return flat[0]
+	}
+	return &Bound{Kind: boundAdd, Args: append([]*Bound(nil), flat...)}
+}
+
+// BSub returns the simplified difference a−b.
+func BSub(a, b *Bound) *Bound {
+	if a == nil {
+		a = BConst(0)
+	}
+	if b == nil || b.IsConst(0) {
+		return a
+	}
+	if a.Unbounded() || b.Unbounded() {
+		return BUnbounded()
+	}
+	if a.Kind == boundConst && b.Kind == boundConst {
+		return BConst(a.N - b.N)
+	}
+	return &Bound{Kind: boundSub, Args: []*Bound{a, b}}
+}
+
+// BMul returns the simplified product a·b. Multiplying Unbounded by the
+// constant 0 yields 0 (see the type comment).
+func BMul(a, b *Bound) *Bound {
+	if a == nil || b == nil || a.IsConst(0) || b.IsConst(0) {
+		return BConst(0)
+	}
+	if a.Unbounded() || b.Unbounded() {
+		return BUnbounded()
+	}
+	if a.IsConst(1) {
+		return b
+	}
+	if b.IsConst(1) {
+		return a
+	}
+	if a.Kind == boundConst && b.Kind == boundConst {
+		return BConst(a.N * b.N)
+	}
+	return &Bound{Kind: boundMul, Args: []*Bound{a, b}}
+}
+
+// BMax returns the simplified maximum of bounds; nil operands are
+// ignored (max of nothing is 0).
+func BMax(bs ...*Bound) *Bound {
+	var (
+		c     int64
+		hasC  bool
+		rest  []*Bound
+		added = map[string]bool{}
+	)
+	queue := append([]*Bound(nil), bs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		switch {
+		case b == nil:
+		case b.Kind == boundUnbounded:
+			return BUnbounded()
+		case b.Kind == boundConst:
+			if !hasC || b.N > c {
+				c, hasC = b.N, true
+			}
+		case b.Kind == boundMax:
+			queue = append(queue, b.Args...)
+		default:
+			if s := b.String(); !added[s] {
+				added[s] = true
+				rest = append(rest, b)
+			}
+		}
+	}
+	if len(rest) == 0 {
+		if hasC {
+			return BConst(c)
+		}
+		return BConst(0)
+	}
+	if hasC && c != 0 {
+		rest = append(rest, BConst(c))
+	}
+	if len(rest) == 1 {
+		return rest[0]
+	}
+	return &Bound{Kind: boundMax, Args: rest}
+}
+
+// String renders b in the marker grammar (plus max(...) and len(...)
+// symbols, which the grammar cannot express — String is for reports and
+// messages, not guaranteed re-parseable).
+func (b *Bound) String() string {
+	if b == nil {
+		return "0"
+	}
+	switch b.Kind {
+	case boundConst:
+		return fmt.Sprintf("%d", b.N)
+	case boundSym:
+		return b.Sym
+	case boundUnbounded:
+		return "unbounded"
+	case boundAdd:
+		parts := make([]string, len(b.Args))
+		for i, a := range b.Args {
+			parts[i] = a.String()
+		}
+		return strings.Join(parts, "+")
+	case boundSub:
+		return b.Args[0].String() + "-" + parenIfComposite(b.Args[1])
+	case boundMul:
+		return parenIfSum(b.Args[0]) + "*" + parenIfSum(b.Args[1])
+	case boundMax:
+		parts := make([]string, len(b.Args))
+		for i, a := range b.Args {
+			parts[i] = a.String()
+		}
+		return "max(" + strings.Join(parts, ",") + ")"
+	}
+	return "?"
+}
+
+func parenIfComposite(b *Bound) string {
+	if b.Kind == boundAdd || b.Kind == boundSub || b.Kind == boundMul {
+		return "(" + b.String() + ")"
+	}
+	return b.String()
+}
+
+func parenIfSum(b *Bound) string {
+	if b.Kind == boundAdd || b.Kind == boundSub {
+		return "(" + b.String() + ")"
+	}
+	return b.String()
+}
+
+// Eval evaluates b under env (symbol → value). The second result is
+// false when b is unbounded or mentions a symbol absent from env.
+func (b *Bound) Eval(env map[string]int64) (int64, bool) {
+	if b == nil {
+		return 0, true
+	}
+	switch b.Kind {
+	case boundConst:
+		return b.N, true
+	case boundSym:
+		v, ok := env[b.Sym]
+		return v, ok
+	case boundUnbounded:
+		return 0, false
+	case boundAdd:
+		var sum int64
+		for _, a := range b.Args {
+			v, ok := a.Eval(env)
+			if !ok {
+				return 0, false
+			}
+			sum += v
+		}
+		return sum, true
+	case boundSub:
+		x, ok1 := b.Args[0].Eval(env)
+		y, ok2 := b.Args[1].Eval(env)
+		return x - y, ok1 && ok2
+	case boundMul:
+		x, ok1 := b.Args[0].Eval(env)
+		y, ok2 := b.Args[1].Eval(env)
+		return x * y, ok1 && ok2
+	case boundMax:
+		var best int64
+		for i, a := range b.Args {
+			v, ok := a.Eval(env)
+			if !ok {
+				return 0, false
+			}
+			if i == 0 || v > best {
+				best = v
+			}
+		}
+		return best, true
+	}
+	return 0, false
+}
+
+// Syms appends every distinct symbol mentioned in b, sorted.
+func (b *Bound) Syms() []string {
+	set := map[string]bool{}
+	var walk func(*Bound)
+	walk = func(b *Bound) {
+		if b == nil {
+			return
+		}
+		if b.Kind == boundSym {
+			set[b.Sym] = true
+		}
+		for _, a := range b.Args {
+			walk(a)
+		}
+	}
+	walk(b)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// boundParams is the vocabulary of model parameters a //repro:bound
+// expression may mention, matched case-insensitively. They mirror the
+// paper's quantities: n processes, p processors, v priority levels, k
+// blessed processors, m processes per (processor, priority) class, l /
+// levels for the Fig. 7 level count, plus the repo's own knobs (size
+// for renaming's namespace, q for the quantum, pri for a process's
+// priority, opsper for harness operations per process, threshold for
+// the reclamation drain cadence).
+var boundParams = map[string]bool{
+	"n": true, "p": true, "v": true, "k": true, "m": true,
+	"l": true, "levels": true, "size": true, "q": true,
+	"pri": true, "opsper": true, "threshold": true,
+}
+
+// BoundParams returns the marker-expression parameter vocabulary,
+// sorted.
+func BoundParams() []string {
+	out := make([]string, 0, len(boundParams))
+	for s := range boundParams {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// trustedSourceParam reports whether a source identifier (already
+// lowercased, selector paths reduced to their last component) is
+// accepted as a model parameter without a marker. `k` is excluded: in
+// this codebase a source-level k is a chain index or map key, never the
+// paper's K, so a loop bounded by one needs an explicit marker.
+func trustedSourceParam(name string) bool {
+	return name != "k" && boundParams[name]
+}
+
+// ParseBound parses the //repro:bound expression grammar:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor ('*' factor)*
+//	factor := INT | PARAM | 'unbounded' | 'max' '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Identifiers are lowercased; the caller checks them against
+// BoundParams. Whitespace is not allowed (the expression is a single
+// whitespace-delimited marker field).
+func ParseBound(s string) (*Bound, error) {
+	p := &boundParser{src: s}
+	b, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing %q", p.src[p.pos:])
+	}
+	return b, nil
+}
+
+type boundParser struct {
+	src string
+	pos int
+}
+
+func (p *boundParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *boundParser) parseExpr() (*Bound, error) {
+	b, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			b = BAdd(b, t)
+		case '-':
+			p.pos++
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			b = BSub(b, t)
+		default:
+			return b, nil
+		}
+	}
+}
+
+func (p *boundParser) parseTerm() (*Bound, error) {
+	b, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '*' {
+		p.pos++
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		b = BMul(b, f)
+	}
+	return b, nil
+}
+
+func (p *boundParser) parseFactor() (*Bound, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ) at offset %d", p.pos)
+		}
+		p.pos++
+		return b, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.peek() >= '0' && p.peek() <= '9' {
+			p.pos++
+		}
+		var n int64
+		if _, err := fmt.Sscanf(p.src[start:p.pos], "%d", &n); err != nil {
+			return nil, err
+		}
+		return BConst(n), nil
+	case isIdentByte(c):
+		start := p.pos
+		for isIdentByte(p.peek()) || (p.peek() >= '0' && p.peek() <= '9') {
+			p.pos++
+		}
+		name := strings.ToLower(p.src[start:p.pos])
+		if name == "unbounded" {
+			return BUnbounded(), nil
+		}
+		if name == "max" && p.peek() == '(' {
+			p.pos++
+			var args []*Bound
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek() == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if p.peek() != ')' {
+				return nil, fmt.Errorf("missing ) at offset %d", p.pos)
+			}
+			p.pos++
+			return BMax(args...), nil
+		}
+		return BSym(name), nil
+	case c == 0:
+		return nil, fmt.Errorf("unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("unexpected %q at offset %d", string(c), p.pos)
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// MarshalJSON/UnmarshalJSON use the struct shape directly; declared so a
+// nil *Bound round-trips as JSON null.
+var (
+	_ json.Marshaler   = (*Bound)(nil)
+	_ json.Unmarshaler = (*Bound)(nil)
+)
+
+type boundJSON struct {
+	Kind string   `json:"kind"`
+	N    int64    `json:"n,omitempty"`
+	Sym  string   `json:"sym,omitempty"`
+	Args []*Bound `json:"args,omitempty"`
+}
+
+// MarshalJSON encodes the expression tree.
+func (b *Bound) MarshalJSON() ([]byte, error) {
+	if b == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(boundJSON{Kind: b.Kind, N: b.N, Sym: b.Sym, Args: b.Args})
+}
+
+// UnmarshalJSON decodes the expression tree.
+func (b *Bound) UnmarshalJSON(data []byte) error {
+	var v boundJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	b.Kind, b.N, b.Sym, b.Args = v.Kind, v.N, v.Sym, v.Args
+	return nil
+}

@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestParseBound(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() rendering; "" means parse error
+	}{
+		{"8", "8"},
+		{"n", "n"},
+		{"N", "n"},
+		{"m+1", "m+1"},
+		{"2*l+m", "2*l+m"},
+		{"threshold+1", "threshold+1"},
+		{"max(n,m)", "max(n,m)"},
+		{"max(1,n,m+2)", "max(n,m+2,1)"}, // constants fold to the back
+		{"(n+1)*m", "(n+1)*m"},
+		{"n-1", "n-1"},
+		{"unbounded", "unbounded"},
+		{"unbounded+1", "unbounded"},
+		{"0*unbounded", "0"},
+		{"2*3", "6"},
+		{"1+2+3", "6"},
+		{"", ""},
+		{"2*+q", ""},
+		{"n+", ""},
+		{"max(", ""},
+		{"max()", ""},
+		{"n)", ""},
+		{"3..", ""},
+	}
+	for _, c := range cases {
+		b, err := analysis.ParseBound(c.in)
+		if c.want == "" {
+			if err == nil {
+				t.Errorf("ParseBound(%q) = %s, want error", c.in, b)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBound(%q): %v", c.in, err)
+			continue
+		}
+		if got := b.String(); got != c.want {
+			t.Errorf("ParseBound(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBoundEval(t *testing.T) {
+	env := map[string]int64{"n": 4, "m": 3, "l": 2}
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"8", 8, true},
+		{"n", 4, true},
+		{"2*l+m", 7, true},
+		{"max(n,m+2)", 5, true},
+		{"n-m", 1, true},
+		{"unbounded", 0, false},
+		{"q", 0, false}, // q not in env
+	}
+	for _, c := range cases {
+		b, err := analysis.ParseBound(c.in)
+		if err != nil {
+			t.Fatalf("ParseBound(%q): %v", c.in, err)
+		}
+		got, ok := b.Eval(env)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Eval(%q) = %d, %v; want %d, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBoundJSONRoundTrip(t *testing.T) {
+	for _, expr := range []string{"8", "n", "m+1", "2*l+m", "max(1,n,m+2)", "(n+1)*m", "n-1", "unbounded"} {
+		b, err := analysis.ParseBound(expr)
+		if err != nil {
+			t.Fatalf("ParseBound(%q): %v", expr, err)
+		}
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", expr, err)
+		}
+		var back analysis.Bound
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %q (%s): %v", expr, data, err)
+		}
+		if got, want := back.String(), b.String(); got != want {
+			t.Errorf("round trip %q: got %q, want %q", expr, got, want)
+		}
+	}
+}
+
+func TestBoundAlgebra(t *testing.T) {
+	n := analysis.BSym("n")
+	if got := analysis.BAdd(analysis.BConst(2), analysis.BConst(3), n).String(); got != "n+5" && got != "2+3+n" && got != "5+n" {
+		// Constant folding order is an implementation detail; pin only
+		// that constants fold.
+		b, _ := analysis.ParseBound(got)
+		if v, ok := b.Eval(map[string]int64{"n": 1}); !ok || v != 6 {
+			t.Errorf("BAdd(2,3,n) = %q, want something evaluating to 6 at n=1", got)
+		}
+	}
+	if got := analysis.BMul(analysis.BUnbounded(), analysis.BConst(0)).String(); got != "0" {
+		t.Errorf("unbounded * 0 = %q, want 0", got)
+	}
+	if got := analysis.BMax(n, analysis.BUnbounded()).String(); got != "unbounded" {
+		t.Errorf("max(n, unbounded) = %q, want unbounded", got)
+	}
+	if !analysis.BUnbounded().Unbounded() {
+		t.Errorf("BUnbounded().Unbounded() = false")
+	}
+	if analysis.BConst(7).Unbounded() {
+		t.Errorf("BConst(7).Unbounded() = true")
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared helpers for the interprocedural analyzers (waitfreebound,
+// statementcharge): static callee resolution over go/types, and the
+// definition of an "operation" — the unit the paper's per-invocation
+// bounds are stated over.
+
+// boundPackages are the packages under the wait-freedom loop/charge
+// discipline: the algorithm packages plus the core harness that drives
+// their invocations.
+var boundPackages = append(append([]string{}, algorithmPackages...), "repro/internal/core")
+
+// staticCallee resolves the *types.Func a call statically invokes, or
+// nil for dynamic calls (function values, builtins like len, type
+// conversions). Interface-method calls do resolve to the interface's
+// *types.Func — callers distinguish them with isInterfaceCall.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil {
+			if s.Kind() == types.FieldVal {
+				return nil // call through a func-typed field: dynamic
+			}
+			f, _ := s.Obj().(*types.Func)
+			return f
+		}
+		// Qualified identifier: pkg.Func.
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isInterfaceCall reports whether the call dispatches through an
+// interface (so the concrete body is statically unknown).
+func isInterfaceCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	return s != nil && types.IsInterface(s.Recv())
+}
+
+// hasCtxParam reports whether fn takes a *sim.Ctx parameter.
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p, ok := params.At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		n, ok := p.Elem().(*types.Named)
+		if ok && n.Obj().Name() == "Ctx" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == simPath {
+			return true
+		}
+	}
+	return false
+}
+
+// isOperation reports whether decl is an exported operation: exported
+// name, exported (or absent) receiver type, and a *sim.Ctx parameter.
+func isOperation(decl *ast.FuncDecl, fn *types.Func) bool {
+	if !decl.Name.IsExported() || !hasCtxParam(fn) {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if !ast.IsExported(typeName(recv.Type())) {
+			return false
+		}
+	}
+	return true
+}
+
+// declaredFuncs collects every function declaration with a body, in
+// file/source order, mapping its *types.Func.
+func declaredFuncs(pass *Pass) (map[*types.Func]*ast.FuncDecl, []*types.Func) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			order = append(order, obj)
+		}
+	}
+	return decls, order
+}

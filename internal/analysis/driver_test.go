@@ -1,0 +1,89 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestValidPattern(t *testing.T) {
+	for _, p := range []string{".", "./...", "./internal/mem", "./internal/sim/...", "./cmd/reprolint"} {
+		if err := analysis.ValidPattern(p); err != nil {
+			t.Errorf("ValidPattern(%q) = %v, want nil", p, err)
+		}
+	}
+	for _, p := range []string{"", "internal/mem", "./", "./a//b", "./../escape", "./a/../b", "/abs"} {
+		if err := analysis.ValidPattern(p); err == nil {
+			t.Errorf("ValidPattern(%q) = nil, want error", p)
+		}
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("FindModuleRoot returned %s with no go.mod: %v", root, err)
+	}
+}
+
+// TestDriverCacheWarm pins the incremental cache contract: a cold run
+// analyzes every needed package, an immediate re-run over unchanged
+// sources answers entirely from the cache with identical results.
+func TestDriverCacheWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages from source; skipped in -short")
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := analysis.DriverOptions{
+		Root:     root,
+		Patterns: []string{"./internal/mem"},
+		Cache:    true,
+		CacheDir: t.TempDir(),
+	}
+	cold, err := analysis.RunDriver(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheMisses != cold.Analyzed || cold.CacheHits != 0 {
+		t.Errorf("cold run: hits=%d misses=%d analyzed=%d, want all misses",
+			cold.CacheHits, cold.CacheMisses, cold.Analyzed)
+	}
+	warm, err := analysis.RunDriver(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != warm.Analyzed || warm.CacheMisses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d analyzed=%d, want all hits",
+			warm.CacheHits, warm.CacheMisses, warm.Analyzed)
+	}
+	if len(warm.Diags) != len(cold.Diags) {
+		t.Errorf("warm run diags = %d, cold = %d", len(warm.Diags), len(cold.Diags))
+	}
+	for i := range warm.Diags {
+		if warm.Diags[i] != cold.Diags[i] {
+			t.Errorf("diag %d: warm %v != cold %v", i, warm.Diags[i], cold.Diags[i])
+		}
+	}
+}
+
+// TestDriverUnknownPattern pins the driver's selection error.
+func TestDriverUnknownPattern(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.RunDriver(analysis.DriverOptions{
+		Root:     root,
+		Patterns: []string{"./no/such/dir"},
+	}); err == nil {
+		t.Fatal("expected an error for a pattern matching nothing")
+	}
+}

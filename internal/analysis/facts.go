@@ -1,0 +1,90 @@
+package analysis
+
+import "sort"
+
+// A FuncFact is what the interprocedural analyzers export about one
+// function, keyed by types.Func.FullName (e.g.
+// "(*repro/internal/unicons.Object).Decide"). Facts flow from a
+// package's pass to every dependent package's pass, so waitfreebound
+// and statementcharge resolve cross-package calls without re-analyzing
+// the callee — the modular-facts analogue of x/tools' analysis.Fact.
+type FuncFact struct {
+	// Name is the types.Func.FullName of the function.
+	Name string `json:"name"`
+	// Op marks an exported operation: an exported function or method
+	// taking a *sim.Ctx (the unit the paper's per-invocation bounds are
+	// stated over).
+	Op bool `json:"op,omitempty"`
+	// Cost is the derived worst-case atomic-statement count of one call
+	// (waitfreebound).
+	Cost *Bound `json:"cost,omitempty"`
+	// Incomplete lists the reasons Cost is a lower-bound certificate
+	// only (interface dispatch, function values, unresolved callees).
+	// Empty means Cost covers every statement the call can charge.
+	Incomplete []string `json:"incomplete,omitempty"`
+	// RawChain is "" when no raw shared-mem accessor is reachable from
+	// the function through static calls; otherwise it renders one
+	// offending call chain, e.g. "middle → rawHelper → (*mem.Reg).Load"
+	// (statementcharge).
+	RawChain string `json:"rawChain,omitempty"`
+	// File/Line locate the declaration (driver-root-relative in cached
+	// facts).
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+}
+
+// PackageFacts is every exported fact of one package.
+type PackageFacts struct {
+	Path  string               `json:"path"`
+	Funcs map[string]*FuncFact `json:"funcs"`
+}
+
+// fact returns the named FuncFact, creating it on first use.
+func (pf *PackageFacts) fact(name string) *FuncFact {
+	if pf.Funcs == nil {
+		pf.Funcs = map[string]*FuncFact{}
+	}
+	f := pf.Funcs[name]
+	if f == nil {
+		f = &FuncFact{Name: name}
+		pf.Funcs[name] = f
+	}
+	return f
+}
+
+// sortedFuncs returns the facts in Name order.
+func (pf *PackageFacts) sortedFuncs() []*FuncFact {
+	out := make([]*FuncFact, 0, len(pf.Funcs))
+	for _, f := range pf.Funcs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Facts returns the facts the analyzers exported for pkg (nil before
+// any fact-producing analyzer has run).
+func (pkg *Package) Facts() *PackageFacts { return pkg.facts }
+
+// SetDepFacts installs the facts of pkg's (transitive) dependencies,
+// keyed by import path. The driver calls this before running analyzers
+// so cross-package calls resolve; analysistest leaves it empty.
+func (pkg *Package) SetDepFacts(deps map[string]*PackageFacts) { pkg.depFacts = deps }
+
+// depFact resolves the fact for a function in dependency package path,
+// or nil.
+func (pkg *Package) depFact(path, fullName string) *FuncFact {
+	pf := pkg.depFacts[path]
+	if pf == nil {
+		return nil
+	}
+	return pf.Funcs[fullName]
+}
+
+// ensureFacts returns pkg's fact set, creating it on first use.
+func (pkg *Package) ensureFacts() *PackageFacts {
+	if pkg.facts == nil {
+		pkg.facts = &PackageFacts{Path: pkg.Path}
+	}
+	return pkg.facts
+}

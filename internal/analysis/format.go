@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Formats renders driver diagnostics for humans (text), tooling (json),
+// code scanners (sarif), and GitHub's annotation grammar (github).
+
+// FormatNames lists the supported -format values.
+func FormatNames() []string { return []string{"text", "json", "sarif", "github"} }
+
+// WriteBoundsReport encodes the derived bounds report as indented JSON.
+func WriteBoundsReport(w io.Writer, report *BoundsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// WriteDiagnostics renders diags in the named format. root relativizes
+// paths for the sarif and github formats (SARIF artifact URIs and
+// workflow annotations are repo-relative).
+func WriteDiagnostics(w io.Writer, format string, diags []Diagnostic, root string) error {
+	switch format {
+	case "", "text":
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		return nil
+	case "json":
+		return writeJSONDiags(w, diags, root)
+	case "sarif":
+		return WriteSARIF(w, diags, root)
+	case "github":
+		for _, d := range diags {
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s: %s\n",
+				relToRoot(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want one of %v)", format, FormatNames())
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSONDiags(w io.Writer, diags []Diagnostic, root string) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File: relToRoot(root, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"findings": findings})
+}
+
+// SARIF 2.1.0 minimal subset: one run, one rule per analyzer, one
+// result per diagnostic.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription sarifText     `json:"shortDescription"`
+	FullDescription  sarifText     `json:"fullDescription,omitempty"`
+	DefaultConfig    sarifSeverity `json:"defaultConfiguration"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifSeverity struct {
+	Level string `json:"level"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes diags as a SARIF 2.1.0 log, paths relative to
+// root.
+func WriteSARIF(w io.Writer, diags []Diagnostic, root string) error {
+	ruleDocs := map[string]string{"allowmarker": "marker grammar and load-bearing-ness validation"}
+	for _, a := range Analyzers() {
+		ruleDocs[a.Name] = a.Doc
+	}
+	seen := map[string]bool{}
+	var ruleIDs []string
+	for _, d := range diags {
+		if !seen[d.Analyzer] {
+			seen[d.Analyzer] = true
+			ruleIDs = append(ruleIDs, d.Analyzer)
+		}
+	}
+	sort.Strings(ruleIDs)
+	rules := make([]sarifRule, 0, len(ruleIDs))
+	for _, id := range ruleIDs {
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifText{Text: id},
+			FullDescription:  sarifText{Text: ruleDocs[id]},
+			DefaultConfig:    sarifSeverity{Level: "error"},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relToRoot(root, d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "reprolint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -28,6 +28,12 @@ type Package struct {
 	Types     *types.Package
 	Info      *types.Info
 	Markers   []*Marker
+
+	// facts accumulates what this package's analyzers export; depFacts
+	// holds the already-computed facts of dependency packages (see
+	// facts.go).
+	facts    *PackageFacts
+	depFacts map[string]*PackageFacts
 }
 
 // A Loader parses and type-checks packages of this module from source.

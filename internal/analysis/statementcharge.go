@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StatementCharge is the interprocedural complement to atomicaccess:
+// it proves no exported operation reaches a raw shared-mem accessor
+// *through helper calls* — the laundering the intra-package,
+// single-site atomicaccess pass cannot see. Direct in-body raw access
+// stays atomicaccess's report (one finding per site, not two); this
+// pass flags the call edge from an operation into any function whose
+// transitive static call graph touches a raw accessor, across packages
+// via the RawChain fact.
+//
+// Soundness caveat (DESIGN.md §13): calls through interfaces and
+// function values are assumed clean — the concrete body is statically
+// unknown — so a raw access hidden behind dynamic dispatch is only
+// caught by atomicaccess at its definition site (which suffices unless
+// the definition site carries a post-run allow marker *and* the value
+// is invoked mid-run; the Auditor polices that dynamically).
+var StatementCharge = &Analyzer{
+	Name:      "statementcharge",
+	Doc:       "every shared-mem access reachable from an exported algorithm operation must be charged through sim.Ctx; flags raw accessors laundered through helper calls, across packages",
+	AllowKeys: []string{"charge"},
+	SkipTests: true,
+	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, boundPackages...) },
+	Run:       runStatementCharge,
+}
+
+type chargeNode struct {
+	decl *ast.FuncDecl
+	// ownRaw describes the function's first direct raw accessor use
+	// ("" if none). Allow markers don't clear it: a post-run marker
+	// suppresses atomicaccess's diagnostic at the site, but the
+	// function still touches raw memory, and an operation calling it
+	// mid-run is exactly the bug this pass exists to catch.
+	ownRaw string
+	calls  []chargeEdge
+	chain  string
+	done   bool
+	onPath bool
+}
+
+type chargeEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+func runStatementCharge(pass *Pass) error {
+	decls, order := declaredFuncs(pass)
+	nodes := map[*types.Func]*chargeNode{}
+	for _, fn := range order {
+		node := &chargeNode{decl: decls[fn]}
+		nodes[fn] = node
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if desc := rawMemUse(pass.Info, n); desc != "" && node.ownRaw == "" {
+					node.ownRaw = desc + " (" + pass.Fset.Position(n.Sel.Pos()).String() + ")"
+				}
+			case *ast.CallExpr:
+				callee := staticCallee(pass.Info, n)
+				if callee != nil && !isInterfaceCall(pass.Info, n) {
+					node.calls = append(node.calls, chargeEdge{pos: n.Pos(), callee: callee})
+				}
+			}
+			return true
+		})
+	}
+
+	var chainOf func(fn *types.Func) string
+	// resolve renders the raw-reaching chain starting at (and naming)
+	// callee, or "" when callee is clean or unresolvable.
+	resolve := func(callee *types.Func) string {
+		pkg := callee.Pkg()
+		if pkg == nil {
+			return ""
+		}
+		switch {
+		case pkg.Path() == pass.Pkg.Path():
+			if nodes[callee] == nil {
+				return ""
+			}
+			if c := chainOf(callee); c != "" {
+				return callee.Name() + " → " + c
+			}
+		case pathIn(pkg.Path(), boundPackages...):
+			if ff := pass.pkg.depFact(pkg.Path(), callee.FullName()); ff != nil && ff.RawChain != "" {
+				return ff.RawChain
+			}
+		}
+		return ""
+	}
+	chainOf = func(fn *types.Func) string {
+		node := nodes[fn]
+		if node.done {
+			return node.chain
+		}
+		if node.onPath {
+			return "" // recursion: the raw shows up at another cycle member
+		}
+		node.onPath = true
+		if node.ownRaw != "" {
+			node.chain = node.ownRaw
+		} else {
+			for _, e := range node.calls {
+				if c := resolve(e.callee); c != "" {
+					node.chain = c
+					break
+				}
+			}
+		}
+		node.onPath = false
+		node.done = true
+		return node.chain
+	}
+
+	facts := pass.pkg.ensureFacts()
+	for _, fn := range order {
+		node := nodes[fn]
+		chain := chainOf(fn)
+		ff := facts.fact(fn.FullName())
+		if chain != "" {
+			ff.RawChain = fn.Name() + " → " + chain
+		}
+		if !isOperation(node.decl, fn) {
+			continue
+		}
+		// Direct raw access in the operation body is atomicaccess's
+		// finding; here we flag the call edges that launder one.
+		for _, e := range node.calls {
+			if c := resolve(e.callee); c != "" {
+				pass.Reportf(e.pos,
+					"operation %s reaches a raw mem access outside sim.Ctx statement accounting: %s; route it through the Ctx or annotate //repro:allow charge <reason>",
+					fn.Name(), c)
+			}
+		}
+	}
+	return nil
+}
+
+// rawMemUse reports whether sel selects a raw mem accessor method or a
+// field on a mem type, returning a short description ("" if not). The
+// same table atomicaccess enforces site-locally.
+func rawMemUse(info *types.Info, sel *ast.SelectorExpr) string {
+	s := info.Selections[sel]
+	if s == nil {
+		return ""
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != memPath {
+		return ""
+	}
+	switch s.Kind() {
+	case types.MethodVal, types.MethodExpr:
+		recv := typeName(s.Recv())
+		if rawAccessors[recv][obj.Name()] {
+			return "raw mem." + recv + "." + obj.Name()
+		}
+	case types.FieldVal:
+		return "field " + typeName(s.Recv()) + "." + obj.Name()
+	}
+	return ""
+}

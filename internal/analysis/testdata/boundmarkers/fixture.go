@@ -1,0 +1,33 @@
+// Package fixture exercises //repro:bound marker validation: the
+// expression must parse, mention only known model parameters, and be
+// load-bearing — a marker on a loop the analyzer already bounds is
+// stale, and a broken marker bounds nothing (so the loop is reported
+// too).
+package fixture
+
+func malformedExpr(n int) int {
+	x := 0
+	//repro:bound 2*+q a dangling operator never parses // want `malformed //repro:bound expression "2\*\+q"`
+	for x < n { // want `unbounded loop`
+		x++
+	}
+	return x
+}
+
+func unknownParam(n int) int {
+	x := 0
+	//repro:bound zz*2 zz is nobody's model parameter // want `//repro:bound expression "zz\*2" mentions unknown model parameter "zz"`
+	for x < n { // want `unbounded loop`
+		x++
+	}
+	return x
+}
+
+func staleOnParametric(n int) int {
+	s := 0
+	//repro:bound n the analyzer derives this bound itself, so the marker is dead weight // want `stale //repro:bound n marker bounds no loop or recursion cycle`
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}

@@ -1,0 +1,20 @@
+// Markers in test files are stale by construction: waitfreebound and
+// statementcharge skip _test.go files (post-run verification is outside
+// the statement-accounting discipline), so nothing ever consumes a
+// marker here — the validator reports it rather than letting a
+// meaningless annotation imply a checked bound.
+package fixture_test
+
+func spinUntil(n int) int {
+	x := 0
+	//repro:bound n test files are outside the bound discipline, so this bounds nothing // want `stale //repro:bound n marker bounds no loop or recursion cycle`
+	for x < n {
+		x++
+	}
+	return x
+}
+
+//repro:allow charge test files are outside the charge discipline, so this suppresses nothing // want `stale //repro:allow charge marker suppresses no finding`
+func unusedAllow() int {
+	return spinUntil(3)
+}

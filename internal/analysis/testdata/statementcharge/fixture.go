@@ -1,0 +1,49 @@
+// Package fixture exercises the statementcharge analyzer: an exported
+// operation must not reach raw shared-memory accessors through helper
+// calls — laundering a mem access through a helper would fake the
+// atomic-statement accounting the quantum bounds rest on.
+package fixture
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Object carries the operations under test.
+type Object struct {
+	r *mem.Reg
+}
+
+// OpClean is the discipline: every shared access goes through the Ctx.
+func (o *Object) OpClean(c *sim.Ctx) mem.Word {
+	return c.Read(o.r)
+}
+
+// rawHelper touches shared memory directly; atomicaccess flags the
+// access itself, statementcharge flags operations that reach it.
+func (o *Object) rawHelper() mem.Word {
+	return o.r.Load()
+}
+
+// middle launders the raw access behind one more frame.
+func (o *Object) middle(c *sim.Ctx) mem.Word {
+	return o.rawHelper()
+}
+
+// OpLaundered reaches the raw access two calls deep: the finding lands
+// on the call edge inside the operation, naming the chain.
+func (o *Object) OpLaundered(c *sim.Ctx) mem.Word {
+	return o.middle(c) // want `reaches a raw mem access outside sim\.Ctx statement accounting`
+}
+
+// OpAllowed documents a sanctioned exception with a reasoned marker.
+func (o *Object) OpAllowed(c *sim.Ctx) mem.Word {
+	//repro:allow charge fixture exception: reads a register the harness guarantees quiescent
+	return o.rawHelper()
+}
+
+// Snapshot has no Ctx parameter, so it is post-run inspection, not an
+// operation: statementcharge leaves it to atomicaccess's discipline.
+func (o *Object) Snapshot() mem.Word {
+	return o.rawHelper()
+}

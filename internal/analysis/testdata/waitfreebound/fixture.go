@@ -1,0 +1,105 @@
+// Package fixture exercises the waitfreebound analyzer: every loop and
+// recursion cycle must be syntactically bounded by a constant or model
+// parameter, or carry a reasoned //repro:bound marker; derived costs
+// charge one statement per sim.Ctx shared access.
+package fixture
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Object is a minimal Fig. 3-shaped operation carrier: Decide below
+// must derive a worst-case cost of exactly 8 statements (asserted via
+// the exported facts in analyzers_test.go).
+type Object struct {
+	r *mem.Reg
+}
+
+// Decide mirrors unicons.Decide's statement shape: Local(1), a
+// three-trip loop of one Read plus a one-statement branch, and a final
+// Read — 1 + 3·(1+1) + 1 = 8.
+func (o *Object) Decide(c *sim.Ctx, v mem.Word) mem.Word {
+	c.Local(1)
+	for i := 0; i < 3; i++ {
+		if c.Read(o.r) == 0 {
+			c.Local(1)
+		} else {
+			c.Write(o.r, v)
+		}
+	}
+	return c.Read(o.r)
+}
+
+// Bounded forms: constants, model parameters, descending counts, and
+// collection ranges are all self-sufficient — no marker needed.
+func bounded(n, v int, regs []*mem.Reg) int {
+	s := 0
+	for i := 0; i < 8; i++ {
+		s += i
+	}
+	for i := 1; i <= n; i++ {
+		s += i
+	}
+	for i := v; i > 0; i-- {
+		s += i
+	}
+	for _, r := range regs {
+		_ = r
+	}
+	var fixed [4]int
+	for i := range fixed {
+		s += i
+	}
+	return s
+}
+
+func infinite(done bool) {
+	for { // want `unbounded loop`
+		if done {
+			break
+		}
+	}
+}
+
+func condOnly(x int) int {
+	for x > 0 { // want `unbounded loop`
+		x /= 2
+	}
+	return x
+}
+
+// mutableBound's limit is a plain local variable, not a model
+// parameter: nothing syntactic keeps it from growing mid-loop.
+func mutableBound(xs []int) int {
+	limit := len(xs) * 2
+	s := 0
+	for i := 0; i < limit; i++ { // want `unbounded loop`
+		s += i
+	}
+	return s
+}
+
+// markedSpin is the sanctioned escape hatch: a reasoned marker bounds
+// what syntax cannot.
+func markedSpin(c *sim.Ctx, r *mem.Reg, m int) {
+	//repro:bound m a round is lost only to one of at most m same-level deciders
+	for c.Read(r) != 0 {
+		c.Local(1)
+	}
+}
+
+func unmarkedRecursion(n int) int { // want `recursive call cycle through unmarkedRecursion`
+	if n <= 0 {
+		return 0
+	}
+	return 1 + unmarkedRecursion(n-1)
+}
+
+//repro:bound n the recursion strips one level per call and there are at most n levels
+func markedRecursion(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 + markedRecursion(n-1)
+}

@@ -1,0 +1,693 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WaitFreeBound is the static form of the paper's progress argument:
+// every loop and every recursion cycle in algorithm code must be
+// syntactically bounded by a constant or a model parameter (n, p, v,
+// m, l/levels, ...), or carry a validated `//repro:bound <expr>
+// <reason>` marker. From the resulting per-loop trip bounds it derives
+// each function's worst-case atomic-statement count (one statement per
+// sim.Ctx access, Theorems 1/2/4's unit) and exports it as a
+// cross-package fact; exported operations land in the bounds report
+// that internal/artifact reconciles against the registry's declared
+// WaitFreeBound values.
+//
+// Soundness caveats (DESIGN.md §13): identifiers are trusted as model
+// parameters by naming convention and are not checked loop-invariant;
+// interface dispatch and calls through function values cost zero and
+// mark the fact Incomplete; range loops and len()/cap()-bounded loops
+// are accepted as syntactically bounded (the collection is finite) but
+// their bounds are symbolic unless a marker refines them. The dynamic
+// check.Options.WaitFreeBound property backstops all three gaps.
+var WaitFreeBound = &Analyzer{
+	Name:      "waitfreebound",
+	Doc:       "loops and recursion in algorithm packages must be bounded by a constant, a model parameter, or a reasoned //repro:bound marker; derives per-operation statement bounds",
+	SkipTests: true,
+	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, boundPackages...) },
+	Run:       runWaitFreeBound,
+}
+
+// Loop classification: how much the analyzer trusts a derived trip
+// bound.
+const (
+	classTrusted = iota // constant or model-parameter bound: self-sufficient
+	classLen            // bounded by a collection's size: accepted, symbolic
+	classUnknown        // not syntactically bounded: marker required
+)
+
+func runWaitFreeBound(pass *Pass) error {
+	// Pass 1: loop discipline. Every for/range statement anywhere in
+	// the package (methods, closures, initializers) is classified;
+	// unbounded ones need a covering //repro:bound marker or are
+	// reported. The resulting trip bounds feed the cost walker.
+	loops := map[ast.Node]*Bound{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				b, class := deriveForBound(pass, n)
+				loops[n] = resolveLoopBound(pass, n.Pos(), b, class)
+			case *ast.RangeStmt:
+				b, class := deriveRangeBound(pass, n)
+				loops[n] = resolveLoopBound(pass, n.Pos(), b, class)
+			}
+			return true
+		})
+	}
+
+	decls, order := declaredFuncs(pass)
+
+	// Pass 2: recursion. Build the intra-package static call graph and
+	// find cycle members; each needs a bound marker on its declaration
+	// (the expression bounds the whole call, depth included).
+	edges := map[*types.Func][]*types.Func{}
+	for _, fn := range order {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass.Info, call)
+			if callee != nil && decls[callee] != nil && !seen[callee] && !isInterfaceCall(pass.Info, call) {
+				seen[callee] = true
+				edges[fn] = append(edges[fn], callee)
+			}
+			return true
+		})
+	}
+	w := &costWalker{pass: pass, loops: loops, decls: decls, nodes: map[*types.Func]*costNode{}}
+	for _, fn := range cycleMembers(order, edges) {
+		decl := decls[fn]
+		node := w.node(fn)
+		node.fixed = true
+		if m := pass.pkg.boundMarkerFor(pass.Fset.Position(decl.Pos())); m != nil {
+			m.Used = true
+			node.cost = m.Bound
+		} else {
+			pass.Reportf(decl.Name.Pos(),
+				"recursive call cycle through %s has no statically bounded depth; add //repro:bound <expr> <reason> on the declaration bounding the whole call's statement count",
+				fn.Name())
+			node.cost = BUnbounded()
+		}
+	}
+
+	// Pass 3: derive per-function worst-case statement counts and
+	// export them as facts; exported operations feed the bounds report.
+	facts := pass.pkg.ensureFacts()
+	for _, fn := range order {
+		decl := decls[fn]
+		node := w.funcCost(fn)
+		ff := facts.fact(fn.FullName())
+		ff.Cost = node.cost
+		ff.Incomplete = append(ff.Incomplete, sortedKeys(node.incomplete)...)
+		ff.Op = isOperation(decl, fn)
+		pos := pass.Fset.Position(decl.Pos())
+		ff.File, ff.Line = pos.Filename, pos.Line
+	}
+	return nil
+}
+
+// resolveLoopBound reconciles a derived trip bound with any covering
+// //repro:bound marker and reports undisciplined loops.
+func resolveLoopBound(pass *Pass, pos token.Pos, derived *Bound, class int) *Bound {
+	m := pass.pkg.boundMarkerFor(pass.Fset.Position(pos))
+	if class == classTrusted {
+		// A marker here bounds nothing the analyzer doesn't already
+		// know; leaving it unused makes MarkerProblems report it stale.
+		return derived
+	}
+	if m != nil {
+		m.Used = true
+		return m.Bound
+	}
+	if class == classLen {
+		return derived
+	}
+	pass.Reportf(pos,
+		"unbounded loop: not syntactically bounded by a constant or model parameter; add //repro:bound <expr> <reason> justifying its trip bound")
+	return BUnbounded()
+}
+
+// deriveForBound bounds a 3-clause counting loop:
+//
+//	for i := A; i < B; i++   → B − A      (A a non-negative int literal, else B)
+//	for i := A; i <= B; i++  → B − A + 1
+//	for i := A; i > B; i--   → A − B      (B a non-negative int literal)
+//	for i := A; i >= B; i--  → A − B + 1
+//
+// The bound expression B (resp. A) must reduce to constants, model
+// parameters, or len/cap of a collection; anything else — including
+// cond-only and infinite loops — is classUnknown and needs a marker.
+func deriveForBound(pass *Pass, fs *ast.ForStmt) (*Bound, int) {
+	if fs.Cond == nil || fs.Init == nil || fs.Post == nil {
+		return nil, classUnknown
+	}
+	init, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, classUnknown
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, classUnknown
+	}
+	post, ok := fs.Post.(*ast.IncDecStmt)
+	if !ok || !sameIdent(post.X, iv) {
+		return nil, classUnknown
+	}
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil, classUnknown
+	}
+	op, limit := cond.Op, ast.Expr(nil)
+	switch {
+	case sameIdent(cond.X, iv):
+		limit = cond.Y
+	case sameIdent(cond.Y, iv):
+		limit = cond.X
+		op = flipCmp(op)
+	default:
+		return nil, classUnknown
+	}
+	switch {
+	case post.Tok == token.INC && (op == token.LSS || op == token.LEQ):
+		b, class := exprBound(pass, limit)
+		if class == classUnknown {
+			return nil, classUnknown
+		}
+		if op == token.LEQ {
+			b = BAdd(b, BConst(1))
+		}
+		if n, ok := intLit(init.Rhs[0]); ok && n > 0 {
+			b = BSub(b, BConst(n))
+		}
+		return b, class
+	case post.Tok == token.DEC && (op == token.GTR || op == token.GEQ):
+		// Descending: the floor must be a non-negative literal (the
+		// repo's descending loops all run to 0), the ceiling A follows
+		// the same expression rules.
+		floor, ok := intLit(limit)
+		if !ok || floor < 0 {
+			return nil, classUnknown
+		}
+		b, class := exprBound(pass, init.Rhs[0])
+		if class == classUnknown {
+			return nil, classUnknown
+		}
+		if op == token.GEQ {
+			b = BAdd(b, BConst(1))
+		}
+		if floor > 0 {
+			b = BSub(b, BConst(floor))
+		}
+		return b, class
+	}
+	return nil, classUnknown
+}
+
+// deriveRangeBound bounds a range statement. Ranging a collection is
+// always syntactically bounded (the collection is finite); ranging an
+// integer follows the expression rules; ranging a channel or function
+// iterator is unknown.
+func deriveRangeBound(pass *Pass, rs *ast.RangeStmt) (*Bound, int) {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok {
+		return nil, classUnknown
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Basic:
+		if t.Info()&types.IsInteger != 0 {
+			return exprBound(pass, rs.X)
+		}
+		if t.Info()&types.IsString != 0 {
+			return BSym("len(" + types.ExprString(rs.X) + ")"), classLen
+		}
+	case *types.Array:
+		return BConst(t.Len()), classTrusted
+	case *types.Pointer:
+		if a, ok := t.Elem().Underlying().(*types.Array); ok {
+			return BConst(a.Len()), classTrusted
+		}
+	case *types.Slice, *types.Map:
+		return BSym("len(" + types.ExprString(rs.X) + ")"), classLen
+	}
+	return nil, classUnknown
+}
+
+// exprBound turns a source bound expression into a Bound: int literals
+// and typed constants fold to constants; identifiers (and selector
+// fields, reduced to their last component) matching the model-parameter
+// vocabulary become trusted symbols; len/cap calls become symbolic
+// collection sizes; +, − and * combine. Anything else is unknown.
+func exprBound(pass *Pass, e ast.Expr) (*Bound, int) {
+	e = ast.Unparen(e)
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if n, exact := constant.Int64Val(tv.Value); exact {
+			return BConst(n), classTrusted
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return identBound(e.Name)
+	case *ast.SelectorExpr:
+		return identBound(e.Sel.Name)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && len(e.Args) == 1 {
+			return BSym(id.Name + "(" + types.ExprString(e.Args[0]) + ")"), classLen
+		}
+	case *ast.BinaryExpr:
+		x, cx := exprBound(pass, e.X)
+		y, cy := exprBound(pass, e.Y)
+		if cx == classUnknown || cy == classUnknown {
+			return nil, classUnknown
+		}
+		class := cx
+		if cy > class {
+			class = cy
+		}
+		switch e.Op {
+		case token.ADD:
+			return BAdd(x, y), class
+		case token.SUB:
+			return BSub(x, y), class
+		case token.MUL:
+			return BMul(x, y), class
+		}
+	}
+	return nil, classUnknown
+}
+
+// identBound maps a source identifier to a model-parameter symbol when
+// the (lowercased) name is in the trusted vocabulary.
+func identBound(name string) (*Bound, int) {
+	lower := strings.ToLower(name)
+	if trustedSourceParam(lower) {
+		return BSym(lower), classTrusted
+	}
+	return nil, classUnknown
+}
+
+func sameIdent(e ast.Expr, id *ast.Ident) bool {
+	x, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && x.Name == id.Name
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+func intLit(e ast.Expr) (int64, bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		n, ok := intLit(u.X)
+		return -n, ok
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	var n int64
+	for _, c := range lit.Value {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// cycleMembers returns the functions on recursion cycles (members of a
+// multi-node strongly connected component, or with a self edge), in
+// source order. Tarjan's algorithm over the intra-package call graph.
+func cycleMembers(order []*types.Func, edges map[*types.Func][]*types.Func) []*types.Func {
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	next := 0
+	inCycle := map[*types.Func]bool{}
+
+	var strong func(fn *types.Func)
+	strong = func(fn *types.Func) {
+		index[fn] = next
+		low[fn] = next
+		next++
+		stack = append(stack, fn)
+		onStack[fn] = true
+		for _, m := range edges[fn] {
+			if _, seen := index[m]; !seen {
+				strong(m)
+				if low[m] < low[fn] {
+					low[fn] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[fn] {
+				low[fn] = index[m]
+			}
+		}
+		if low[fn] == index[fn] {
+			var scc []*types.Func
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == fn {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				for _, m := range scc {
+					inCycle[m] = true
+				}
+			}
+		}
+	}
+	for _, fn := range order {
+		if _, seen := index[fn]; !seen {
+			strong(fn)
+		}
+	}
+	// Self edges are cycles Tarjan's SCC size test misses.
+	for fn, ms := range edges {
+		for _, m := range ms {
+			if m == fn {
+				inCycle[fn] = true
+			}
+		}
+	}
+	var out []*types.Func
+	for _, fn := range order {
+		if inCycle[fn] {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// A costNode memoizes one function's derived cost.
+type costNode struct {
+	cost       *Bound
+	incomplete map[string]bool
+	fixed      bool // recursion: cost pinned by marker or Unbounded
+	visiting   bool
+}
+
+// costWalker derives worst-case statement counts: one per sim.Ctx
+// shared access (Read/Write/CCons/CASPrim/LoadPrim), n for Local(n),
+// loop bodies multiplied by their trip bounds, branches joined by max,
+// same-package calls inlined, cross-package calls resolved through dep
+// facts.
+type costWalker struct {
+	pass  *Pass
+	loops map[ast.Node]*Bound
+	decls map[*types.Func]*ast.FuncDecl
+	nodes map[*types.Func]*costNode
+}
+
+func (w *costWalker) node(fn *types.Func) *costNode {
+	n := w.nodes[fn]
+	if n == nil {
+		n = &costNode{incomplete: map[string]bool{}}
+		w.nodes[fn] = n
+	}
+	return n
+}
+
+func (w *costWalker) funcCost(fn *types.Func) *costNode {
+	node := w.node(fn)
+	if node.fixed || node.cost != nil {
+		return node
+	}
+	if node.visiting {
+		// Unmarked cycle member costs were pinned Unbounded in pass 2;
+		// reaching here would mean a cycle the SCC pass missed.
+		node.cost = BUnbounded()
+		return node
+	}
+	node.visiting = true
+	node.cost = w.block(fn, w.decls[fn].Body)
+	node.visiting = false
+	return node
+}
+
+func (w *costWalker) block(fn *types.Func, b *ast.BlockStmt) *Bound {
+	if b == nil {
+		return BConst(0)
+	}
+	return w.stmts(fn, b.List)
+}
+
+func (w *costWalker) stmts(fn *types.Func, list []ast.Stmt) *Bound {
+	total := BConst(0)
+	for _, s := range list {
+		total = BAdd(total, w.stmt(fn, s))
+	}
+	return total
+}
+
+func (w *costWalker) stmt(fn *types.Func, s ast.Stmt) *Bound {
+	switch s := s.(type) {
+	case nil:
+		return BConst(0)
+	case *ast.ExprStmt:
+		return w.expr(fn, s.X)
+	case *ast.AssignStmt:
+		total := BConst(0)
+		for _, e := range s.Rhs {
+			total = BAdd(total, w.expr(fn, e))
+		}
+		for _, e := range s.Lhs {
+			total = BAdd(total, w.expr(fn, e))
+		}
+		return total
+	case *ast.ReturnStmt:
+		total := BConst(0)
+		for _, e := range s.Results {
+			total = BAdd(total, w.expr(fn, e))
+		}
+		return total
+	case *ast.IfStmt:
+		return BAdd(w.stmt(fn, s.Init), w.expr(fn, s.Cond),
+			BMax(w.block(fn, s.Body), w.stmt(fn, s.Else)))
+	case *ast.ForStmt:
+		trips := w.loops[s]
+		iter := BAdd(w.expr(fn, s.Cond), w.block(fn, s.Body), w.stmt(fn, s.Post))
+		// The condition runs once more than the body (the exiting test).
+		return BAdd(w.stmt(fn, s.Init), BMul(trips, iter), w.expr(fn, s.Cond))
+	case *ast.RangeStmt:
+		return BAdd(w.expr(fn, s.X), BMul(w.loops[s], w.block(fn, s.Body)))
+	case *ast.BlockStmt:
+		return w.stmts(fn, s.List)
+	case *ast.SwitchStmt:
+		total := BAdd(w.stmt(fn, s.Init), w.expr(fn, s.Tag))
+		var branches []*Bound
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			b := w.stmts(fn, cc.Body)
+			for _, e := range cc.List {
+				b = BAdd(b, w.expr(fn, e))
+			}
+			branches = append(branches, b)
+		}
+		return BAdd(total, BMax(branches...))
+	case *ast.TypeSwitchStmt:
+		total := BAdd(w.stmt(fn, s.Init), w.stmt(fn, s.Assign))
+		var branches []*Bound
+		for _, c := range s.Body.List {
+			branches = append(branches, w.stmts(fn, c.(*ast.CaseClause).Body))
+		}
+		return BAdd(total, BMax(branches...))
+	case *ast.LabeledStmt:
+		return w.stmt(fn, s.Stmt)
+	case *ast.IncDecStmt:
+		return w.expr(fn, s.X)
+	case *ast.DeferStmt:
+		return w.expr(fn, s.Call)
+	case *ast.GoStmt:
+		return w.expr(fn, s.Call)
+	case *ast.DeclStmt:
+		total := BConst(0)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						total = BAdd(total, w.expr(fn, e))
+					}
+				}
+			}
+		}
+		return total
+	case *ast.SendStmt:
+		return BAdd(w.expr(fn, s.Chan), w.expr(fn, s.Value))
+	case *ast.SelectStmt:
+		var branches []*Bound
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branches = append(branches, BAdd(w.stmt(fn, cc.Comm), w.stmts(fn, cc.Body)))
+		}
+		return BMax(branches...)
+	}
+	return BConst(0)
+}
+
+func (w *costWalker) expr(fn *types.Func, e ast.Expr) *Bound {
+	switch e := e.(type) {
+	case nil:
+		return BConst(0)
+	case *ast.CallExpr:
+		total := BConst(0)
+		for _, a := range e.Args {
+			total = BAdd(total, w.expr(fn, a))
+		}
+		return BAdd(total, w.call(fn, e))
+	case *ast.FuncLit:
+		// A closure's body costs nothing where it is *built*; it is
+		// charged where it is invoked (immediately-invoked literals are
+		// inlined by w.call; escaping closures run under their own
+		// invocation's accounting).
+		return BConst(0)
+	case *ast.ParenExpr:
+		return w.expr(fn, e.X)
+	case *ast.UnaryExpr:
+		return w.expr(fn, e.X)
+	case *ast.StarExpr:
+		return w.expr(fn, e.X)
+	case *ast.BinaryExpr:
+		return BAdd(w.expr(fn, e.X), w.expr(fn, e.Y))
+	case *ast.SelectorExpr:
+		return w.expr(fn, e.X)
+	case *ast.IndexExpr:
+		return BAdd(w.expr(fn, e.X), w.expr(fn, e.Index))
+	case *ast.SliceExpr:
+		return BAdd(w.expr(fn, e.X), w.expr(fn, e.Low), w.expr(fn, e.High), w.expr(fn, e.Max))
+	case *ast.CompositeLit:
+		total := BConst(0)
+		for _, el := range e.Elts {
+			total = BAdd(total, w.expr(fn, el))
+		}
+		return total
+	case *ast.KeyValueExpr:
+		return BAdd(w.expr(fn, e.Key), w.expr(fn, e.Value))
+	case *ast.TypeAssertExpr:
+		return w.expr(fn, e.X)
+	}
+	return BConst(0)
+}
+
+// call charges one static call: Ctx accessors charge their statements,
+// same-package callees are inlined, cross-package callees resolve
+// through dep facts, dynamic and interface calls cost zero and mark the
+// function Incomplete.
+func (w *costWalker) call(fn *types.Func, call *ast.CallExpr) *Bound {
+	node := w.node(fn)
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return w.block(fn, lit.Body) // immediately-invoked closure
+	}
+	callee := staticCallee(w.pass.Info, call)
+	if callee == nil {
+		if isDynamicCall(w.pass.Info, call) {
+			node.incomplete["call through a function value"] = true
+		}
+		return BConst(0)
+	}
+	if isInterfaceCall(w.pass.Info, call) {
+		node.incomplete["interface dispatch to "+callee.Name()] = true
+		return BConst(0)
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return BConst(0)
+	}
+	switch {
+	case pkg.Path() == simPath:
+		return w.ctxCharge(fn, callee, call)
+	case pkg.Path() == w.pass.Pkg.Path():
+		if w.decls[callee] == nil {
+			return BConst(0)
+		}
+		sub := w.funcCost(callee)
+		for k := range sub.incomplete {
+			node.incomplete[k] = true
+		}
+		return sub.cost
+	case pathIn(pkg.Path(), boundPackages...):
+		if ff := w.pass.pkg.depFact(pkg.Path(), callee.FullName()); ff != nil {
+			for _, k := range ff.Incomplete {
+				node.incomplete[k] = true
+			}
+			return ff.Cost
+		}
+		node.incomplete["unresolved call to "+callee.FullName()] = true
+		return BConst(0)
+	}
+	// mem, stdlib, and engine packages charge no statements themselves
+	// (raw mem access is atomicaccess/statementcharge's department).
+	return BConst(0)
+}
+
+// ctxCharge prices a call into the sim package: the five Ctx shared
+// accessors charge one statement, Local(n) charges n, everything else
+// (ID, Pri, Processor, Now, constructors...) charges zero.
+func (w *costWalker) ctxCharge(fn *types.Func, callee *types.Func, call *ast.CallExpr) *Bound {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || typeName(sig.Recv().Type()) != "Ctx" {
+		return BConst(0)
+	}
+	switch callee.Name() {
+	case "Read", "Write", "CCons", "CASPrim", "LoadPrim":
+		return BConst(1)
+	case "Local":
+		if len(call.Args) == 1 {
+			if tv, ok := w.pass.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if n, exact := constant.Int64Val(tv.Value); exact {
+					return BConst(n)
+				}
+			}
+		}
+		w.node(fn).incomplete["Local with a non-constant statement count"] = true
+		return BConst(0)
+	}
+	return BConst(0)
+}
+
+// isDynamicCall reports whether the call goes through a func-typed
+// value (variable, field, parameter) rather than a declared function,
+// builtin, or type conversion.
+func isDynamicCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok {
+		if tv.IsType() || tv.IsBuiltin() {
+			return false
+		}
+		_, isSig := tv.Type.Underlying().(*types.Signature)
+		return isSig
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

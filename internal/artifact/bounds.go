@@ -1,0 +1,71 @@
+package artifact
+
+import (
+	"repro/internal/multicons"
+)
+
+// Declared wait-freedom bounds: the registry's per-workload statement
+// budgets, the values a checker arms check.Options.WaitFreeBound with
+// and the anchor the static bounds report is reconciled against
+// (reprolint's waitfreebound analyzer re-derives per-operation
+// worst-case statement counts from source; TestDeclaredBoundsReconcile
+// proves derived ≤ declared under each workload's parameters).
+
+// DeclaredBound returns the declared worst-case atomic-statement count
+// for a single operation of meta's workload, in the paper's unit (one
+// shared access = one statement). Zero means the workload declares no
+// wait-freedom bound: lockcounter is the blocking negative control
+// (its spin loop is the §1 priority-inversion scenario), and soakmix
+// mixes in a lock-free C&S retry that is only practically wait-free.
+func DeclaredBound(m Meta) int64 {
+	n, v := defInt(m.N, 2), defInt(m.V, 1)
+	switch m.Workload {
+	case "unicons":
+		// Theorem 1: Fig. 3 decides in exactly 8 statements.
+		return 8
+	case "hybridcas", "universal":
+		// Coarse linear budgets: the Fig. 5 scan and the universal
+		// construction's helping loops are linear in processes and
+		// levels; 500 absorbs the per-round qlocal constants.
+		return int64(500 * (v + n))
+	case "multicons":
+		p, mm := defInt(m.P, 2), defInt(m.M, 1)
+		cfg := multicons.Config{P: p, K: m.K, M: mm, V: v}
+		return int64(200 * (cfg.Levels() + p*mm))
+	}
+	return 0
+}
+
+// BoundEnv returns the model-parameter valuation for meta, the
+// environment the statically derived bound expressions evaluate under
+// when reconciling against DeclaredBound. Symbols follow the
+// //repro:bound vocabulary; the per-class count m is the largest
+// number of processes sharing one (processor, priority) class, which
+// the single-processor workloads bound by N and multicons pins to
+// Meta.M.
+func BoundEnv(m Meta) map[string]int64 {
+	n, v := defInt(m.N, 2), defInt(m.V, 1)
+	env := map[string]int64{
+		"n":         int64(n),
+		"p":         1,
+		"v":         int64(v),
+		"k":         int64(m.K),
+		"m":         int64(n),
+		"l":         int64(v),
+		"levels":    int64(v),
+		"pri":       int64(v),
+		"q":         int64(m.Quantum),
+		"size":      32,
+		"threshold": 2,
+		"opsper":    1,
+	}
+	if m.Workload == "multicons" {
+		p, mm := defInt(m.P, 2), defInt(m.M, 1)
+		cfg := multicons.Config{P: p, K: m.K, M: mm, V: v}
+		env["p"] = int64(p)
+		env["m"] = int64(mm)
+		env["n"] = int64(p * mm)
+		env["l"] = int64(cfg.Levels())
+	}
+	return env
+}

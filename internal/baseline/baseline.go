@@ -92,6 +92,7 @@ func NewLockCounter(name string, initial mem.Word) *LockCounter {
 // scheduling this can spin forever.
 func (l *LockCounter) Inc(c *sim.Ctx) mem.Word {
 	me := mem.Word(c.ID() + 1)
+	//repro:bound unbounded blocking negative control: a quantum-preempted lock holder leaves every waiter spinning forever — the §1 priority-inversion scenario the wait-free constructions exist to avoid
 	for !c.CASPrim(l.lock, 0, me) {
 	}
 	v := c.Read(l.value)

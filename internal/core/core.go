@@ -227,6 +227,7 @@ func RunCASWorkload(opts CASWorkloadOpts) (*CASWorkloadResult, error) {
 		p := sys.AddProcess(sim.ProcSpec{Processor: 0, Priority: 1 + i%opts.V})
 		for k := 0; k < opts.OpsPer; k++ {
 			p.AddInvocation(func(c *sim.Ctx) {
+				//repro:bound unbounded lock-free C&S retry workload: per-invocation progress is unbounded by design — the practically-wait-free layer measures exactly this gap
 				for {
 					v := obj.Read(c)
 					if obj.CompareAndSwap(c, v, v+1) {

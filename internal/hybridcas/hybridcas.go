@@ -182,6 +182,7 @@ func (o *Object) findHead(c *sim.Ctx) cellKey {
 	}
 	walk := 0
 	k := best
+	//repro:bound n the nxt chain beyond the hint grows only by appends overlapping this walk, at most one per process (invariant E4)
 	for {
 		nxt := o.cellAt(k).nxt.ReadValue(c)
 		if nxt == mem.Bottom {
@@ -262,6 +263,7 @@ func (o *Object) Read(c *sim.Ctx) mem.Word {
 // is a linearizable Load, and deeper updates win.
 func (o *Object) updateHd(c *sim.Ctx, key cellKey, depth mem.Word) {
 	pri := c.Pri()
+	//repro:bound n a lost CAS means another process advanced Hd[pri] past this depth; each overlapping process can defeat the update at most once
 	for {
 		cur := o.hd[pri].Load(c)
 		if d := c.Read(o.cellAt(unpackKey(cur)).depth); d >= depth {
@@ -298,6 +300,7 @@ func (o *Object) Peek() mem.Word {
 			}
 		}
 	}
+	//repro:bound unbounded post-run walk over the whole applied-ops chain; never executed during a run
 	for {
 		cl := o.cellAt(k)
 		nxt := cl.nxt.Peek()
@@ -317,6 +320,7 @@ func (o *Object) ChainLen() int {
 	}
 	n := 0
 	k := cellKey{id: 0, tag: 0}
+	//repro:bound unbounded post-run walk over the whole applied-ops chain; never executed during a run
 	for {
 		nxt := o.cells[k].nxt.Peek()
 		if nxt == mem.Bottom {

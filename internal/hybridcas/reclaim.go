@@ -116,6 +116,7 @@ func (o *Object) endOp(c *sim.Ctx, appended *cellKey, unlinked []cellKey) {
 	r := o.rec
 	// Unlinked cells were never published; only the owner references
 	// them, so they free immediately (runtime-side).
+	//repro:bound 1 an operation unlinks at most its own unpublished cell
 	for _, k := range unlinked {
 		delete(o.cells, k)
 		delete(r.depths, k)
@@ -137,6 +138,7 @@ func (o *Object) reclaimPass(c *sim.Ctx) {
 	r := o.rec
 	floor := mem.Word(1<<32 - 1)
 	// Every in-flight operation pins depths down to its published basis.
+	//repro:bound n one Active register per process
 	for id := range r.active {
 		if a := c.Read(r.active[id]); a != idleBasis && a < floor {
 			floor = a
@@ -160,6 +162,7 @@ func (o *Object) reclaimPass(c *sim.Ctx) {
 	c.Write(r.floorReg, floor)
 	// Free own retired cells strictly below the floor.
 	kept := r.retired[c.ID()][:0]
+	//repro:bound threshold+1 retired cells drain every threshold operations, so at most threshold plus the cell retired this call accumulate
 	for _, k := range r.retired[c.ID()] {
 		if r.depths[k] < floor {
 			delete(o.cells, k)

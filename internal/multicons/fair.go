@@ -63,6 +63,7 @@ func (f *Fair) Decide(c *sim.Ctx, val mem.Word) mem.Word {
 	// Lines 1-3: elect one process per priority level per processor;
 	// losers wait for the decision (finitely, under fair scheduling).
 	if f.elections[c.Processor()][c.Pri()].Decide(c, me) != me {
+		//repro:bound unbounded Fig. 9's premise is fair scheduling: losers spin on Output until the winner decides — finite under fairness, but with no hybrid-scheduling statement bound
 		for {
 			if out := c.Read(f.output); out != mem.Bottom {
 				return out

@@ -184,6 +184,7 @@ func (a *Algorithm) Decide(c *sim.Ctx, val mem.Word) mem.Word {
 	}
 
 	// Lines 14-34: proceed through the consensus levels.
+	//repro:bound 2*l+m each iteration consumes a port or re-reads after a same-level loss: the port vector holds at most 2 ports per level per priority, and same-level interference re-runs a level at most M times (Lemma 3)
 	for level <= a.l {
 		// Lines 15-16: higher-priority processes may have preempted us
 		// and decided.

@@ -112,6 +112,7 @@ func unpackProp(w mem.Word) (proposer int, val mem.Word) {
 // statements (the unbounded-array idealization; see the package
 // comment).
 func (o *Object) ensure(k int) {
+	//repro:bound m+1 the chain grows by at most the slots one operation can traverse: same-level interference plus the target slot (unbounded-array idealization)
 	for len(o.cells) <= k {
 		i := len(o.cells)
 		o.cells = append(o.cells, unicons.New(fmt.Sprintf("%s.cell[%d]", o.name, i)))
@@ -127,6 +128,7 @@ func (o *Object) findLatest(c *sim.Ctx) int {
 	if hint, _ := UnpackCur(c.Read(o.cur)); hint > j {
 		j = hint
 	}
+	//repro:bound m slots published past the hint come from same-level deciders: at most one per quantum preemption or frozen peer (Theorem 4's argument)
 	for {
 		o.ensure(j + 1)
 		if c.Read(o.vals[j+1]) == mem.Bottom {
@@ -171,6 +173,7 @@ func (o *Object) CAS(c *sim.Ctx, old, new mem.Word) bool {
 	if new > MaxValue {
 		panic(fmt.Sprintf("qlocal: CAS new value %d exceeds MaxValue", new))
 	}
+	//repro:bound m a round is lost only to a same-level decider; losses are bounded by quantum preemptions plus frozen peers (Theorem 4)
 	for {
 		j := o.findLatest(c)
 		if o.valAt(c, j) != old {
@@ -186,6 +189,7 @@ func (o *Object) CAS(c *sim.Ctx, old, new mem.Word) bool {
 
 // FetchInc atomically increments the value and returns the prior value.
 func (o *Object) FetchInc(c *sim.Ctx) mem.Word {
+	//repro:bound m a round is lost only to a same-level decider; losses are bounded by quantum preemptions plus frozen peers (Theorem 4)
 	for {
 		j := o.findLatest(c)
 		v := o.valAt(c, j)
@@ -200,6 +204,7 @@ func (o *Object) Store(c *sim.Ctx, val mem.Word) {
 	if val > MaxValue {
 		panic(fmt.Sprintf("qlocal: Store value %d exceeds MaxValue", val))
 	}
+	//repro:bound m a round is lost only to a same-level decider; losses are bounded by quantum preemptions plus frozen peers (Theorem 4)
 	for {
 		j := o.findLatest(c)
 		if winner, decided := o.decide(c, j, val); winner == c.ID() && decided == val {

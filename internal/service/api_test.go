@@ -320,6 +320,55 @@ func TestArtifactEndpoints(t *testing.T) {
 	}
 }
 
+// TestLintJobAndArtifactRoute runs a lint job over one small package
+// and pins the artifact layout the spec promises: index 0 is the SARIF
+// log, index 1 the derived bounds report, both served by the
+// positional GET /jobs/{id}/artifacts/{n} route.
+func TestLintJobAndArtifactRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages from source; skipped in -short")
+	}
+	svc, ts := newFarm(t, service.Config{GlobalWorkers: 1, MaxActiveJobs: 1})
+	defer svc.Stop()
+	code, resp := doJSON(t, "POST", ts.URL+"/jobs", `{"kind":"lint","lint":{"patterns":["./internal/mem"]}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %v", code, resp)
+	}
+	id := resp["id"].(string)
+	st := waitJob(t, svc, id, "terminal", isTerminal)
+	if st.State != service.StateDone || st.Violations != 0 {
+		t.Fatalf("lint job over a clean package: %+v, want done with no findings", st)
+	}
+	if len(st.Artifacts) != 2 {
+		t.Fatalf("lint job stored %d artifacts, want 2 (sarif, bounds)", len(st.Artifacts))
+	}
+	code, sarif := doJSON(t, "GET", ts.URL+"/jobs/"+id+"/artifacts/0", "")
+	if code != http.StatusOK || sarif["version"] != "2.1.0" {
+		t.Fatalf("artifact 0: %d %v, want a SARIF 2.1.0 log", code, sarif)
+	}
+	code, bounds := doJSON(t, "GET", ts.URL+"/jobs/"+id+"/artifacts/1", "")
+	if code != http.StatusOK {
+		t.Fatalf("artifact 1: %d", code)
+	}
+	if _, ok := bounds["ops"]; !ok {
+		t.Fatalf("artifact 1 is not a bounds report: %v", bounds)
+	}
+	// Route error grammar: out of range is 404, malformed index is 400,
+	// unknown job is 404.
+	code, _ = doJSON(t, "GET", ts.URL+"/jobs/"+id+"/artifacts/2", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("artifact out of range: code %d, want 404", code)
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/jobs/"+id+"/artifacts/banana", "")
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed artifact index: code %d, want 400", code)
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/jobs/job-999999/artifacts/0", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job artifact: code %d, want 404", code)
+	}
+}
+
 func TestBenchEndpoints(t *testing.T) {
 	svc, ts := newFarm(t, service.Config{})
 	defer svc.Stop()

@@ -17,22 +17,24 @@ const maxBodyBytes = 1 << 20
 
 // Handler returns the service's REST API:
 //
-//	POST   /jobs             submit a jobspec.Spec          → 201 {"id": ...}
-//	GET    /jobs             list job statuses
-//	GET    /jobs/{id}        one job's status
-//	GET    /jobs/{id}/events stream progress events (NDJSON, ?since=N)
-//	DELETE /jobs/{id}        cancel (checkpointing progress) → 202
-//	GET    /artifacts        list repro-bundle keys
-//	GET    /artifacts/{key}  fetch a repro bundle by content key
-//	GET    /bench            the appended bench history
-//	POST   /bench            append one bench report
-//	GET    /healthz          liveness + job counts
+//	POST   /jobs                    submit a jobspec.Spec          → 201 {"id": ...}
+//	GET    /jobs                    list job statuses
+//	GET    /jobs/{id}               one job's status
+//	GET    /jobs/{id}/events        stream progress events (NDJSON, ?since=N)
+//	GET    /jobs/{id}/artifacts/{n} fetch the job's n-th artifact (0-based)
+//	DELETE /jobs/{id}               cancel (checkpointing progress) → 202
+//	GET    /artifacts               list repro-bundle keys
+//	GET    /artifacts/{key}         fetch a repro bundle by content key
+//	GET    /bench                   the appended bench history
+//	POST   /bench                   append one bench report
+//	GET    /healthz                 liveness + job counts
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{n}", s.handleJobArtifact)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /artifacts", s.handleArtifacts)
 	mux.HandleFunc("GET /artifacts/{key}", s.handleArtifact)
@@ -155,6 +157,42 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleJobArtifact resolves a job's n-th artifact key (the order the
+// job produced them: violation bundles for check/soak jobs; SARIF log
+// then bounds report for lint jobs) and serves the stored content —
+// addressing by position spares clients a status fetch when the layout
+// is fixed, as it is for lint jobs.
+func (s *Service) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil || n < 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("bad artifact index %q", r.PathValue("n"))})
+		return
+	}
+	if n >= len(st.Artifacts) {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("job %s has %d artifacts", st.ID, len(st.Artifacts))})
+		return
+	}
+	data, err := s.st.Artifact(st.Artifacts[n])
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if data == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "artifact " + st.Artifacts[n] + " missing from store"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func (s *Service) handleArtifacts(w http.ResponseWriter, r *http.Request) {

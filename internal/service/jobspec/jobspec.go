@@ -17,8 +17,10 @@ package jobspec
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/artifact"
 	"repro/internal/campaign"
 	"repro/internal/check"
@@ -28,38 +30,47 @@ import (
 const (
 	KindCheck = "check"
 	KindSoak  = "soak"
+	KindLint  = "lint"
 )
 
 // Spec is one submittable job: exactly one of the kind-specific
 // payloads is set, matching Kind.
 type Spec struct {
 	// Kind selects the job type: "check" (schedule-space exploration,
-	// cmd/checker's work) or "soak" (a durable replay campaign,
-	// cmd/soak's work).
+	// cmd/checker's work), "soak" (a durable replay campaign, cmd/soak's
+	// work), or "lint" (a reprolint static-analysis run, cmd/reprolint's
+	// work).
 	Kind string `json:"kind"`
 	// Check is the exploration spec (Kind "check").
 	Check *Check `json:"check,omitempty"`
 	// Soak is the campaign spec (Kind "soak").
 	Soak *Soak `json:"soak,omitempty"`
+	// Lint is the static-analysis spec (Kind "lint").
+	Lint *Lint `json:"lint,omitempty"`
 }
 
 // Validate checks the spec's shape and its kind-specific payload.
 func (s *Spec) Validate() error {
 	switch s.Kind {
 	case KindCheck:
-		if s.Check == nil || s.Soak != nil {
+		if s.Check == nil || s.Soak != nil || s.Lint != nil {
 			return fmt.Errorf("jobspec: kind %q wants exactly the check payload", s.Kind)
 		}
 		return s.Check.Validate()
 	case KindSoak:
-		if s.Soak == nil || s.Check != nil {
+		if s.Soak == nil || s.Check != nil || s.Lint != nil {
 			return fmt.Errorf("jobspec: kind %q wants exactly the soak payload", s.Kind)
 		}
 		return s.Soak.Validate()
+	case KindLint:
+		if s.Lint == nil || s.Check != nil || s.Soak != nil {
+			return fmt.Errorf("jobspec: kind %q wants exactly the lint payload", s.Kind)
+		}
+		return s.Lint.Validate()
 	case "":
-		return fmt.Errorf("jobspec: missing kind (want %q or %q)", KindCheck, KindSoak)
+		return fmt.Errorf("jobspec: missing kind (want %q, %q, or %q)", KindCheck, KindSoak, KindLint)
 	default:
-		return fmt.Errorf("jobspec: unknown kind %q (want %q or %q)", s.Kind, KindCheck, KindSoak)
+		return fmt.Errorf("jobspec: unknown kind %q (want %q, %q, or %q)", s.Kind, KindCheck, KindSoak, KindLint)
 	}
 }
 
@@ -75,6 +86,8 @@ func (s *Spec) Describe() string {
 			w = "soakmix"
 		}
 		return fmt.Sprintf("soak %s runs=%d seed=%d", w, s.Soak.Runs, s.Soak.Seed)
+	case s.Lint != nil:
+		return "lint " + strings.Join(s.Lint.ResolvedPatterns(), " ")
 	default:
 		return "invalid spec"
 	}
@@ -316,6 +329,47 @@ func (s *Soak) Config() campaign.Config {
 		MemSoftLimit:    uint64(s.MemSoftMB) << 20,
 		StopOnViolation: !s.KeepGoing,
 	}
+}
+
+// Lint specifies one reprolint static-analysis run — the job-shaped
+// form of cmd/reprolint's flags. The run lints the server's own source
+// tree (the module enclosing the server process's working directory):
+// the farm is self-hosting its discipline checks, so a lint job's
+// output is a property of the checked-out tree, not of anything the
+// spec can point elsewhere. The service stores the SARIF log and the
+// derived bounds report as content-addressed artifacts (job artifact
+// indices 0 and 1).
+type Lint struct {
+	// Patterns selects package directories, in cmd/reprolint's pattern
+	// grammar: ".", "./...", "./dir", or "./dir/..." (empty = ["./..."]).
+	Patterns []string `json:"patterns,omitempty"`
+	// NoTests excludes _test.go files from analysis.
+	NoTests bool `json:"no_tests,omitempty"`
+	// Parallelism is the requested analysis worker count (0 = all CPUs;
+	// a cap under the service's fair share).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Validate checks the lint spec's pattern grammar.
+func (l *Lint) Validate() error {
+	for _, p := range l.Patterns {
+		if err := analysis.ValidPattern(p); err != nil {
+			return fmt.Errorf("jobspec: %w", err)
+		}
+	}
+	if l.Parallelism < 0 {
+		return fmt.Errorf("jobspec: negative bound in lint spec")
+	}
+	return nil
+}
+
+// ResolvedPatterns returns the patterns the run will use, applying the
+// whole-tree default.
+func (l *Lint) ResolvedPatterns() []string {
+	if len(l.Patterns) == 0 {
+		return []string{"./..."}
+	}
+	return l.Patterns
 }
 
 // SoakFromIdentity reconstructs the soak spec a persisted campaign

@@ -29,6 +29,10 @@ func TestSpecValidate(t *testing.T) {
 		{Kind: jobspec.KindCheck, Check: &jobspec.Check{Meta: good.Check.Meta, Mode: "all", Budget: -1}},
 		{Kind: jobspec.KindSoak, Soak: &jobspec.Soak{Workload: "nope"}},
 		{Kind: jobspec.KindSoak, Soak: &jobspec.Soak{Runs: -1}},
+		{Kind: jobspec.KindLint},
+		{Kind: jobspec.KindLint, Lint: &jobspec.Lint{}, Check: good.Check},
+		{Kind: jobspec.KindLint, Lint: &jobspec.Lint{Patterns: []string{"internal/mem"}}},
+		{Kind: jobspec.KindLint, Lint: &jobspec.Lint{Parallelism: -1}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -137,6 +141,36 @@ func TestSoakConfigAndIdentity(t *testing.T) {
 		got.Quantum != spec.Quantum || got.WaitFreeBound != spec.WaitFreeBound ||
 		got.Seed != spec.Seed || got.CrashSeed != spec.ResolvedCrashSeed() || got.MaxCrashes != spec.MaxCrashes {
 		t.Fatalf("identity round trip mismatch: %+v", got)
+	}
+}
+
+func TestLintSpec(t *testing.T) {
+	empty := &jobspec.Spec{Kind: jobspec.KindLint, Lint: &jobspec.Lint{}}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty lint spec rejected: %v", err)
+	}
+	if got := empty.Lint.ResolvedPatterns(); len(got) != 1 || got[0] != "./..." {
+		t.Fatalf("default patterns = %v, want [./...]", got)
+	}
+	if got := empty.Describe(); got != "lint ./..." {
+		t.Fatalf("Describe() = %q", got)
+	}
+	scoped := &jobspec.Spec{Kind: jobspec.KindLint, Lint: &jobspec.Lint{
+		Patterns: []string{"./internal/mem", "./internal/sim/..."}, NoTests: true}}
+	if err := scoped.Validate(); err != nil {
+		t.Fatalf("scoped lint spec rejected: %v", err)
+	}
+	data, err := json.Marshal(scoped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := jobspec.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != jobspec.KindLint || got.Lint == nil || !got.Lint.NoTests ||
+		len(got.Lint.Patterns) != 2 || got.Lint.Patterns[1] != "./internal/sim/..." {
+		t.Fatalf("round trip mismatch: %+v", got.Lint)
 	}
 }
 

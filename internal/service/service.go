@@ -32,14 +32,17 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/campaign"
 	"repro/internal/check"
 	"repro/internal/service/jobspec"
@@ -604,6 +607,8 @@ func (s *Service) run(j *job) {
 	switch j.spec.Kind {
 	case jobspec.KindCheck:
 		workers = s.cfg.fairShare(j.spec.Check.Parallelism)
+	case jobspec.KindLint:
+		workers = s.cfg.fairShare(j.spec.Lint.Parallelism)
 	default:
 		workers = s.cfg.fairShare(j.spec.Soak.Parallelism)
 	}
@@ -617,6 +622,8 @@ func (s *Service) run(j *job) {
 	switch j.spec.Kind {
 	case jobspec.KindCheck:
 		s.runCheck(j, workers)
+	case jobspec.KindLint:
+		s.runLint(j, workers)
 	default:
 		s.runSoak(j, workers)
 	}
@@ -931,4 +938,72 @@ func (s *Service) runSoak(j *job, workers int) {
 		s.finish(j, StateDone,
 			fmt.Sprintf("%d runs clean, %d crashes injected", state.Runs, state.Crashes), nil)
 	}
+}
+
+// runLint executes a lint job: one reprolint driver run over the
+// server's own source tree. The run is a single non-durable unit (the
+// driver's incremental cache, shared by every lint job under the
+// store's reprolint-cache directory, makes a post-crash re-run cheap
+// anyway); findings map to StateFailed the same way violations do, and
+// the SARIF log plus the derived bounds report are stored as the job's
+// artifacts — index 0 and 1 — so GET /jobs/{id}/artifacts/{n} serves
+// them to CI and code scanners.
+func (s *Service) runLint(j *job, workers int) {
+	spec := j.spec.Lint
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		s.finish(j, StateError, "module root", err)
+		return
+	}
+	res, err := analysis.RunDriver(analysis.DriverOptions{
+		Root:        root,
+		Patterns:    spec.ResolvedPatterns(),
+		Tests:       !spec.NoTests,
+		Cache:       true,
+		CacheDir:    filepath.Join(s.st.Root(), "reprolint-cache"),
+		Parallelism: workers,
+	})
+	if err != nil {
+		s.finish(j, StateError, "reprolint", err)
+		return
+	}
+	if j.isCancelled() {
+		s.finish(j, StateCancelled, "cancelled; lint runs as one unit, results discarded", nil)
+		return
+	}
+	var sarif, bounds bytes.Buffer
+	if err := analysis.WriteDiagnostics(&sarif, "sarif", res.Diags, root); err != nil {
+		s.finish(j, StateError, "encode sarif", err)
+		return
+	}
+	if err := analysis.WriteBoundsReport(&bounds, res.Bounds); err != nil {
+		s.finish(j, StateError, "encode bounds report", err)
+		return
+	}
+	var keys []string
+	for _, blob := range [][]byte{sarif.Bytes(), bounds.Bytes()} {
+		if s.isKilled() {
+			break
+		}
+		key, err := s.st.PutRawArtifact(blob)
+		if err != nil {
+			s.finish(j, StateError, "store artifact", err)
+			return
+		}
+		keys = append(keys, key)
+		j.events.append("artifact", key)
+	}
+	j.mu.Lock()
+	j.status.Violations = len(res.Diags)
+	j.status.Artifacts = keys
+	j.mu.Unlock()
+	j.events.append("progress", fmt.Sprintf("%d packages analyzed (%d dirs incl. deps, %d cache hits), %d findings",
+		res.Packages, res.Analyzed, res.CacheHits, len(res.Diags)))
+	if len(res.Diags) > 0 {
+		s.finish(j, StateFailed,
+			fmt.Sprintf("%d findings in %d packages", len(res.Diags), res.Packages), nil)
+		return
+	}
+	s.finish(j, StateDone,
+		fmt.Sprintf("clean: %d packages, %d bounded operations derived", res.Packages, len(res.Bounds.Ops)), nil)
 }

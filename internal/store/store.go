@@ -228,14 +228,34 @@ func (s *Store) PutArtifact(b *artifact.Bundle) (string, error) {
 	}
 	sum := sha256.Sum256(data)
 	key := hex.EncodeToString(sum[:])
-	path := filepath.Join(s.root, "artifacts", key+".json")
-	if _, err := os.Stat(path); err == nil {
-		return key, nil
-	}
-	if err := writeAtomic(path, append(data, '\n')); err != nil {
+	// Bundles historically persist with a trailing newline the key does
+	// not cover; keys must stay stable, so the raw path is separate.
+	if err := s.putBlob(key, append(data, '\n')); err != nil {
 		return "", err
 	}
 	return key, nil
+}
+
+// PutRawArtifact stores an arbitrary JSON document (a lint job's SARIF
+// log or bounds report) content-addressed by the sha256 of its exact
+// bytes, and returns the key. Idempotent like PutArtifact.
+func (s *Store) PutRawArtifact(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:])
+	if err := s.putBlob(key, data); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// putBlob writes one content-addressed file, skipping the write when
+// the key already exists (content-addressing makes re-writes no-ops).
+func (s *Store) putBlob(key string, data []byte) error {
+	path := filepath.Join(s.root, "artifacts", key+".json")
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	return writeAtomic(path, data)
 }
 
 // ImportArtifact loads a bundle file (e.g. from a job's scratch or

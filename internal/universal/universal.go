@@ -106,6 +106,7 @@ func unpackProp(w mem.Word) (proposer int, op mem.Word) {
 }
 
 func (u *core) ensure(k int) {
+	//repro:bound n the chain grows by at most the slots one operation can traverse: one per concurrent process plus the target slot (unbounded-array idealization)
 	for len(u.slots) <= k {
 		i := len(u.slots)
 		u.slots = append(u.slots, u.newSlot(i))
@@ -121,9 +122,11 @@ func (u *core) ensure(k int) {
 // identical values and sharing them is safe.
 func (u *core) memoUpTo(c *sim.Ctx, k int) {
 	b := k
+	//repro:bound n the memo basis lags the target by at most the slots published since this process last replayed: one per concurrent operation
 	for u.states[b] == nil {
 		b--
 	}
+	//repro:bound n replay covers exactly the slots between basis and target, bounded by published-but-unreplayed operations, one per process
 	for i := b + 1; i <= k; i++ {
 		d := c.Read(u.vals[i])
 		if d == mem.Bottom {
@@ -138,6 +141,7 @@ func (u *core) memoUpTo(c *sim.Ctx, k int) {
 // findLatest walks to the newest published slot.
 func (u *core) findLatest(c *sim.Ctx) int {
 	j := u.last[c.ID()]
+	//repro:bound n slots published past this process's last position come from concurrent deciders, at most one per process (Theorem 4's argument)
 	for {
 		u.ensure(j + 1)
 		if c.Read(u.vals[j+1]) == mem.Bottom {
@@ -154,6 +158,7 @@ func (u *core) invoke(c *sim.Ctx, op mem.Word) mem.Word {
 	if op > maxOp {
 		panic(fmt.Sprintf("universal: op word %d exceeds 32 bits", op))
 	}
+	//repro:bound n a slot is lost only to a concurrent decider; each process defeats this operation at most once (Theorem 4)
 	for {
 		j := u.findLatest(c)
 		d := u.slots[j+1].decide(c, packProp(c.ID(), op))
