@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-report test test-short test-race bench bench-json bench-gate examples experiments soak soak-resume-smoke server server-smoke clean
+.PHONY: all build vet lint lint-report test test-short test-race bench bench-json bench-gate measure-smoke examples experiments soak soak-resume-smoke server server-smoke clean
 
 all: build lint test
 
@@ -48,9 +48,23 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_explore.json
 
 # Regression gate: re-time the plain and reduced explore legs and fail
-# if either drops more than 25% below the committed BENCH_explore.json.
+# if either drops more than 25% below the committed BENCH_explore.json,
+# the reduced cost ratio rises more than 25% above it, or the measured
+# starvation gap falls more than 25% below it.
 bench-gate:
 	$(GO) run ./cmd/benchjson -gate
+
+# Measurement smoke (EXPERIMENTS.md E9): the wait-free consensus must
+# measure within its Theorem 1 bound at every percentile with no
+# starved invocations, and the blocking negative control must
+# measurably starve, under the same seeded stochastic scheduler. The
+# distribution JSONs land in ./measure for CI artifact upload.
+measure-smoke:
+	mkdir -p measure
+	$(GO) run ./cmd/checker -alg fig3 -n 3 -q 2 -measure -replays 500 \
+		-sched-model uniform:seed=1 -measure-out measure/unicons.json -assert-max-within 8
+	$(GO) run ./cmd/checker -alg lockcounter -n 2 -v 2 -q 2 -max-steps 2000 -measure -replays 500 \
+		-sched-model uniform:seed=1 -measure-out measure/lockcounter.json -assert-max-above 100
 
 examples:
 	$(GO) run ./examples/quickstart

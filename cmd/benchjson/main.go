@@ -26,21 +26,37 @@ import (
 	"repro/internal/bench"
 )
 
-// report is the BENCH_explore.json schema, version 3 (version 2 added
+// report is the BENCH_explore.json schema, version 4 (version 2 added
 // the reduction comparison; version 3 added steal counts and
 // allocs-per-schedule to the explore legs, the reduced-mode cost
 // ratio, and renamed the misleading sleep_pruned_runs stat to
-// sleep_deadlock_runs).
+// sleep_deadlock_runs; version 4 added gomaxprocs, the speedup_note
+// degenerate-parallelism flag, and the progress section — the
+// practically-wait-free measurement pair).
 type report struct {
-	Version    int                    `json:"version"`
-	Timestamp  string                 `json:"timestamp"`
-	GoVersion  string                 `json:"go"`
-	CPUs       int                    `json:"cpus"`
-	Sequential bench.Throughput       `json:"explore_sequential"`
-	Parallel   bench.Throughput       `json:"explore_parallel"`
-	Speedup    float64                `json:"speedup"`
-	Reduction  bench.ReductionBench   `json:"reduction"`
-	Shrink     bench.ShrinkThroughput `json:"shrink"`
+	Version   int    `json:"version"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go"`
+	CPUs      int    `json:"cpus"`
+	// GoMaxProcs is runtime.GOMAXPROCS at measurement time (schema v4).
+	// It can sit below cpus — cgroup limits, GOMAXPROCS env — in which
+	// case the parallel leg never had cpus workers and the speedup
+	// figure must be read against this, not cpus.
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Sequential bench.Throughput `json:"explore_sequential"`
+	Parallel   bench.Throughput `json:"explore_parallel"`
+	Speedup    float64          `json:"speedup"`
+	// SpeedupNote flags a degenerate speedup figure (schema v4): when
+	// the parallel leg ran with one worker or on one schedulable CPU,
+	// speedup ~1.0 is expected and says nothing about the explorer.
+	SpeedupNote string                 `json:"speedup_note,omitempty"`
+	Reduction   bench.ReductionBench   `json:"reduction"`
+	Shrink      bench.ShrinkThroughput `json:"shrink"`
+	// Progress is the measured wait-free vs lock-based progress
+	// distribution pair (schema v4). Deterministic given its seeded
+	// model and replay count, so the committed value is reproducible on
+	// any machine.
+	Progress *bench.ProgressBench `json:"progress,omitempty"`
 }
 
 func main() {
@@ -51,6 +67,8 @@ func main() {
 		gate     = flag.Bool("gate", false, "regression gate: run the plain and reduced explore legs, compare against -baseline, exit 1 on a drop larger than -gate-drop")
 		baseline = flag.String("baseline", "BENCH_explore.json", "committed baseline for -gate")
 		gateDrop = flag.Float64("gate-drop", 0.25, "max tolerated fractional throughput drop for -gate")
+		model    = flag.String("model", "", "scheduler model for the progress measurement pair (\"\" = bench default)")
+		replays  = flag.Int("replays", 2000, "replay count for the progress measurement pair")
 	)
 	flag.Parse()
 
@@ -88,17 +106,33 @@ func main() {
 	}
 	fmt.Printf("benchjson: shrink: %d candidate replays in %.2fs (%.0f/sec), %d -> %d decisions\n",
 		shr.Candidates, shr.Seconds, shr.PerSec, shr.FromDecisions, shr.ToDecisions)
+	prog, err := bench.MeasureProgress(*model, *replays, workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: progress(%s, %d replays): waitfree max %d (bound %d, %d censored) vs lockbased worst %d (%d censored): gap %.1fx\n",
+		prog.Model, prog.Replays, prog.WaitFree.Max, prog.WaitFree.DeclaredBound, prog.WaitFree.Censored,
+		max(prog.Locked.Max, prog.Locked.CensoredMax), prog.Locked.Censored, prog.Gap)
 
+	gmp := runtime.GOMAXPROCS(0)
+	var note string
+	if workers == 1 || gmp == 1 {
+		note = fmt.Sprintf("parallel leg ran with %d worker(s) at GOMAXPROCS=%d; speedup is not a parallelism measurement", workers, gmp)
+		fmt.Printf("benchjson: note: %s\n", note)
+	}
 	rep := report{
-		Version:    3,
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		CPUs:       runtime.NumCPU(),
-		Sequential: seq,
-		Parallel:   par,
-		Speedup:    par.PerSec / seq.PerSec,
-		Reduction:  red,
-		Shrink:     shr,
+		Version:     4,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  gmp,
+		Sequential:  seq,
+		Parallel:    par,
+		Speedup:     par.PerSec / seq.PerSec,
+		SpeedupNote: note,
+		Reduction:   red,
+		Shrink:      shr,
+		Progress:    &prog,
 	}
 	entry, err := json.Marshal(rep)
 	if err != nil {
@@ -133,9 +167,13 @@ const gateAttempts = 3
 // runGate is the CI regression gate (`make bench-gate`): it re-times
 // the sequential plain leg and the reduced leg (best of gateAttempts
 // each) and fails if either schedules/sec figure drops more than drop
-// below the committed baseline. Only drops fail; improvements and
-// baseline-schema gaps (e.g. a pre-v3 baseline) pass with a note, so
-// the gate never blocks the PR that introduces it.
+// below the committed baseline, if the reduced-mode per-run cost ratio
+// rises more than drop above it, or if the progress measurement's
+// starvation gap falls more than drop below it. Only regressions fail;
+// improvements and baseline-schema gaps (e.g. a pre-v3 baseline
+// without a cost ratio, or a pre-v4 one without a progress section)
+// pass with a note, so the gate never blocks the PR that introduces
+// each figure.
 func runGate(baselinePath string, drop float64) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -155,6 +193,7 @@ func runGate(baselinePath string, drop float64) {
 		fatal(fmt.Errorf("gate: parsing baseline %s latest entry: %w", baselinePath, err))
 	}
 	var seqRate, redRate float64
+	costRatio := 0.0
 	for i := 0; i < gateAttempts; i++ {
 		seq, err := bench.ExploreThroughput(1)
 		if err != nil {
@@ -166,6 +205,11 @@ func runGate(baselinePath string, drop float64) {
 		}
 		seqRate = max(seqRate, seq.PerSec)
 		redRate = max(redRate, red.ReducedPerSec)
+		// The cost ratio is a cost: keep the best (lowest) attempt, the
+		// same way the rates keep the best (highest).
+		if costRatio == 0 || red.CostRatio < costRatio {
+			costRatio = red.CostRatio
+		}
 	}
 	failed := false
 	checkLeg := func(name string, now, was float64) {
@@ -184,8 +228,40 @@ func runGate(baselinePath string, drop float64) {
 	}
 	checkLeg("plain explore", seqRate, base.Sequential.PerSec)
 	checkLeg("reduced explore", redRate, base.Reduction.ReducedPerSec)
+	if was := base.Reduction.CostRatio; was <= 0 {
+		fmt.Printf("benchjson: gate: reduced cost ratio: no baseline figure, skipping\n")
+	} else {
+		ceiling := was * (1 + drop)
+		verdict := "ok"
+		if costRatio > ceiling {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchjson: gate: reduced cost ratio: %.2fx vs baseline %.2fx (ceiling %.2fx): %s\n",
+			costRatio, was, ceiling, verdict)
+	}
+	if base.Progress == nil || base.Progress.Gap <= 0 {
+		fmt.Printf("benchjson: gate: progress gap: no baseline figure, skipping\n")
+	} else {
+		// Re-measure with the baseline's own model and replay count: the
+		// measurement is a deterministic function of both, so on any
+		// machine the gap should land exactly on the baseline — the
+		// tolerance only buys room for deliberate workload retunes.
+		prog, err := bench.MeasureProgress(base.Progress.Model, base.Progress.Replays, 1)
+		if err != nil {
+			fatal(fmt.Errorf("gate: progress measurement: %w", err))
+		}
+		floor := base.Progress.Gap * (1 - drop)
+		verdict := "ok"
+		if prog.Gap < floor {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchjson: gate: progress gap: %.1fx vs baseline %.1fx (floor %.1f): %s\n",
+			prog.Gap, base.Progress.Gap, floor, verdict)
+	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: gate: throughput regressed more than %.0f%% below %s\n", drop*100, baselinePath)
+		fmt.Fprintf(os.Stderr, "benchjson: gate: regressed more than %.0f%% against %s\n", drop*100, baselinePath)
 		os.Exit(1)
 	}
 }

@@ -22,11 +22,22 @@
 //	checker -alg fig3 -n 2 -q 0 -mode all -reduction full  # same verdict, far fewer schedules
 //	checker -alg fig7 -p 2 -mode all -timeout 30s -frontier-out f.json  # export the unexplored remainder
 //	checker -alg fig7 -p 2 -mode all -frontier-in f.json                # ...and continue it later
+//	checker -alg fig3 -n 3 -q 2 -mode fuzz -sched-model markov:stay=0.8,seed=7
+//	checker -alg fig3 -n 3 -q 2 -measure -assert-max-within 8           # measured wait-freedom
+//	checker -alg lockcounter -n 2 -v 2 -q 2 -max-steps 2000 -measure -assert-max-above 100
+//
+// -alg also accepts any registered workload name directly (fig3 and
+// fig7 are aliases for unicons and multicons); -measure switches from
+// checking to measuring — it fuzzes -replays runs under -sched-model
+// and reports the per-invocation statement distribution
+// (check.ProgressStats, written as JSON to -measure-out) instead of a
+// verdict. The -assert-max-* flags turn a measurement into a CI
+// assertion without any JSON postprocessing.
 //
 // Exit status: 0 = exploration complete, no violations; 1 = violations
-// found; 2 = usage error; 3 = interrupted by -timeout with no violation
-// in the explored part (the verdict is partial, distinguishable from a
-// clean complete run).
+// found (or a -measure assertion failed); 2 = usage error; 3 =
+// interrupted by -timeout with no violation in the explored part (the
+// verdict is partial, distinguishable from a clean complete run).
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/check"
@@ -44,7 +56,7 @@ import (
 
 func main() {
 	var (
-		alg        = flag.String("alg", "fig3", "algorithm: fig3|fig7")
+		alg        = flag.String("alg", "fig3", "algorithm: fig3|fig7, or any registered workload name")
 		n          = flag.Int("n", 2, "processes (fig3)")
 		v          = flag.Int("v", 1, "priority levels")
 		p          = flag.Int("p", 2, "processors (fig7)")
@@ -67,23 +79,42 @@ func main() {
 		memSoftMB  = flag.Int64("mem-soft-mb", 0, "soft heap ceiling in MiB: under pressure, shed the fingerprint cache and step workers down instead of dying (0 = off)")
 		frontOut   = flag.String("frontier-out", "", "when the exploration is cut short, write the unexplored frontier to this file (modes all|budget, -reduction none)")
 		frontIn    = flag.String("frontier-in", "", "seed the exploration from a frontier file written by -frontier-out instead of the root")
+		maxSteps   = flag.Int64("max-steps", 0, "per-run simulator step limit (0 = per-algorithm default)")
+		schedModel = flag.String("sched-model", "", "scheduler model for -mode fuzz and -measure (sched.ParseModelSpec grammar, e.g. markov:stay=0.8,seed=7; \"\" = seeded random / uniform)")
+		measure    = flag.Bool("measure", false, "measure instead of check: fuzz -replays runs under -sched-model and report the per-invocation statement distribution")
+		measureOut = flag.String("measure-out", "", "write the measured check.ProgressStats JSON to this file")
+		replays    = flag.Int("replays", 0, "measured runs for -measure (0 = jobspec default)")
+		maxAbove   = flag.Int64("assert-max-above", 0, "with -measure: exit 1 unless the observed worst case (completed or censored) exceeds this (negative-control assertion; 0 = off)")
+		maxWithin  = flag.Int64("assert-max-within", 0, "with -measure: exit 1 unless every invocation completed within this many statements (wait-freedom assertion; 0 = off)")
 	)
 	flag.Parse()
 
 	var meta artifact.Meta
 	switch *alg {
-	case "fig3":
+	case "fig3", "unicons":
 		meta = artifact.Meta{Workload: "unicons", N: *n, V: *v, Quantum: *q, MaxSteps: 1 << 18}
-	case "fig7":
+	case "fig7", "multicons":
 		meta = artifact.Meta{Workload: "multicons", P: *p, K: *k, M: *m, V: *v, Quantum: *q, MaxSteps: 1 << 23}
 	default:
-		fmt.Fprintf(os.Stderr, "checker: unknown -alg %q\n", *alg)
-		os.Exit(2)
+		if !artifact.Known(*alg) {
+			fmt.Fprintf(os.Stderr, "checker: unknown -alg %q (have fig3, fig7, %v)\n", *alg, artifact.Workloads())
+			os.Exit(2)
+		}
+		meta = artifact.Meta{Workload: *alg, N: *n, V: *v, P: *p, K: *k, M: *m, Quantum: *q, MaxSteps: 1 << 18}
+	}
+	if *maxSteps > 0 {
+		meta.MaxSteps = *maxSteps
 	}
 	meta.WaitFreeBound = *wfBound
+
+	if *measure {
+		runMeasure(meta, *schedModel, *replays, *parallel, *runDeadl, *measureOut, *maxAbove, *maxWithin, *progress)
+		return
+	}
 	spec := &jobspec.Check{
 		Meta:          meta,
 		Mode:          *mode,
+		Model:         *schedModel,
 		Budget:        *budget,
 		Seeds:         *seeds,
 		MaxSchedules:  *maxSch,
@@ -229,4 +260,95 @@ func main() {
 		}
 	}
 	os.Exit(1)
+}
+
+// runMeasure executes a measurement campaign (-measure): the CLI face
+// of a jobspec.Measure, so `checker -measure` and the equivalent
+// POSTed measure job produce the same distribution. Assertions make
+// the measurement a self-contained CI check: -assert-max-within pins
+// practical wait-freedom (every invocation finished, none past the
+// bound), -assert-max-above pins that a negative control visibly
+// starves.
+func runMeasure(meta artifact.Meta, model string, replays, parallel int, runDeadline time.Duration, outPath string, maxAbove, maxWithin int64, progress bool) {
+	spec := &jobspec.Measure{
+		Meta:          meta,
+		Model:         model,
+		Replays:       replays,
+		Parallelism:   parallel,
+		RunDeadlineMS: runDeadline.Milliseconds(),
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+		os.Exit(2)
+	}
+	build, err := spec.Builder()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+		os.Exit(2)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+		os.Exit(2)
+	}
+	if progress {
+		opts.Progress = func(info check.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "checker: %d replays, %.0f/sec\n", info.Schedules, info.SchedulesPerSec)
+		}
+	}
+	fmt.Printf("measuring %s under %s: %d replays\n", meta.Workload, spec.ResolvedModel(), spec.ResolvedReplays())
+	res := spec.Run(build, opts)
+	p := res.Progress
+	if p == nil || p.Runs == 0 {
+		fmt.Fprintln(os.Stderr, "checker: measurement produced no runs")
+		os.Exit(2)
+	}
+	worst := max(p.Max, p.CensoredMax)
+	fmt.Printf("measured %d runs, %d invocation samples (%d censored)\n", p.Runs, p.Samples, p.Censored)
+	fmt.Printf("stmts/invocation: p50=%d p90=%d p99=%d p999=%d max=%d", p.P50, p.P90, p.P99, p.P999, p.Max)
+	if p.CensoredMax > 0 {
+		fmt.Printf(" censored-max=%d", p.CensoredMax)
+	}
+	fmt.Println()
+	if p.HalfLife > 0 {
+		fmt.Printf("tail half-life: %.1f stmts\n", p.HalfLife)
+	}
+	if meta.WaitFreeBound > 0 {
+		fmt.Printf("%d of %d runs exceeded the declared bound %d\n", res.ViolationsTotal, p.Runs, meta.WaitFreeBound)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(p, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checker: encode distribution: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "checker: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("distribution written to %s\n", outPath)
+	}
+	failed := false
+	if maxWithin > 0 {
+		if p.Censored > 0 {
+			fmt.Printf("ASSERTION FAILED: %d invocations never finished (want all within %d stmts)\n", p.Censored, maxWithin)
+			failed = true
+		} else if p.Max > maxWithin {
+			fmt.Printf("ASSERTION FAILED: max %d stmts/invocation exceeds %d\n", p.Max, maxWithin)
+			failed = true
+		} else {
+			fmt.Printf("assertion ok: all invocations within %d stmts (max %d, none censored)\n", maxWithin, p.Max)
+		}
+	}
+	if maxAbove > 0 {
+		if worst <= maxAbove {
+			fmt.Printf("ASSERTION FAILED: worst case %d stmts does not exceed %d (negative control did not starve)\n", worst, maxAbove)
+			failed = true
+		} else {
+			fmt.Printf("assertion ok: worst case %d stmts exceeds %d\n", worst, maxAbove)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -59,6 +59,7 @@
 //	soak -runs 500 -crashes 2    # crash up to 2 processes per run
 //	soak -seconds 60 -crashes 2 -artifact-dir ./soak-artifacts
 //	soak -runs 200 -workload lockcounter -n 2 -v 2 -q 4 -waitfree-bound 60
+//	soak -runs 200 -sched-model markov:stay=0.9   # Markov-walk schedules, still seed-derived
 //	soak -runs 100000 -state-dir ./campaign   # durable; kill it anytime
 //	soak -resume ./campaign                   # continue where it stopped
 package main
@@ -92,6 +93,7 @@ func main() {
 		v          = flag.Int("v", 0, "priority levels for a fixed -workload (0 = workload default)")
 		q          = flag.Int("q", 0, "scheduling quantum for a fixed -workload (0 = workload default)")
 		wfBound    = flag.Int64("waitfree-bound", 0, "fail any fixed-workload run in which a live process exceeds this many of its own statements in one invocation (0 = off)")
+		schedModel = flag.String("sched-model", "", "replace the seeded-random schedule source with a scheduler model (simple sched.ParseModelSpec specs, e.g. markov:stay=0.8; per-run seeds still derive from -seed)")
 		artDir     = flag.String("artifact-dir", "", "write failing runs as repro bundles into this directory")
 		stateDir   = flag.String("state-dir", "", "journal and checkpoint progress into this directory (crash-safe, resumable)")
 		resume     = flag.String("resume", "", "resume the campaign persisted in this state directory (the spec is read from its checkpoint)")
@@ -108,6 +110,7 @@ func main() {
 		V:               *v,
 		Quantum:         *q,
 		WaitFreeBound:   *wfBound,
+		Model:           *schedModel,
 		Runs:            *runs,
 		Seed:            *seed,
 		CrashSeed:       *crashSeed,

@@ -26,7 +26,8 @@ var replayPackages = []string{
 }
 
 // Determinism flags nondeterminism sources in the replay-sensitive
-// packages: wall-clock reads, unseeded math/rand, goroutine spawns
+// packages: wall-clock reads, unseeded math/rand and math/rand/v2
+// global-source draws, goroutine spawns
 // outside the sanctioned worker pools, map iteration whose order can
 // leak into output, and GC-coupled object reuse (sync.Pool,
 // runtime.SetFinalizer). Sanctioned uses carry markers — walltime,
@@ -75,6 +76,14 @@ var walltimeFuncs = map[string]bool{
 // shared, run-dependent source.
 var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
+// seededRandV2Funcs are the math/rand/v2 constructors that build
+// explicitly seeded generators — rand.New(rand.NewPCG(s1, s2)) is the
+// stochastic schedulers' sanctioned idiom. Everything else at package
+// level (IntN, N, Perm, Shuffle, ...) draws from the v2 global source,
+// which is seeded from runtime entropy at process start and therefore
+// differs on every run.
+var seededRandV2Funcs = map[string]bool{"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true}
+
 func runDeterminism(pass *Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -88,6 +97,8 @@ func runDeterminism(pass *Pass) error {
 						pass.Reportf(n.Pos(), "time.%s reads the wall clock in a replay-sensitive package; derive timing from simulation steps or annotate //repro:allow walltime <reason>", name)
 					case pkg == "math/rand" && !seededRandFuncs[name]:
 						pass.Reportf(n.Pos(), "math/rand.%s draws from the shared unseeded source; use rand.New(rand.NewSource(seed)) so replays are reproducible", name)
+					case pkg == "math/rand/v2" && !seededRandV2Funcs[name]:
+						pass.Reportf(n.Pos(), "math/rand/v2.%s draws from the runtime-seeded global source; use rand.New(rand.NewPCG(seed1, seed2)) so replays are reproducible", name)
 					case pkg == "runtime" && name == "SetFinalizer":
 						pass.Reportf(n.Pos(), "runtime.SetFinalizer ties object lifetime to GC timing in a replay-sensitive package; release resources explicitly (Close, Reset) instead")
 					}

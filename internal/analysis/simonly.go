@@ -24,10 +24,12 @@ var algorithmPackages = []string{
 
 // SimOnly forbids native concurrency and environment access in
 // algorithm packages: importing sync (tests may import sync/atomic for
-// cross-checking the simulator), time, os, runtime, or iter, and any
-// go statement or channel type outside test files. There is
-// deliberately no allow marker — an algorithm that "needs" native
-// concurrency is modeling the wrong machine.
+// cross-checking the simulator), time, os, runtime, iter, or math/rand
+// (either version — stochastic scheduling lives in internal/sched's
+// seeded models, never inside an algorithm whose statement bounds are
+// being counted), and any go statement or channel type outside test
+// files. There is deliberately no allow marker — an algorithm that
+// "needs" native concurrency is modeling the wrong machine.
 //
 // The runtime and iter bans came with the inline coroutine kernel:
 // process bodies now execute on a coroutine resumed from the explorer
@@ -62,6 +64,10 @@ func runSimOnly(pass *Pass) error {
 				pass.Reportf(imp.Pos(), "algorithm packages must not import %s; concurrency is simulated through sim.Ctx, never native", path)
 			case path == "time" || path == "os":
 				pass.Reportf(imp.Pos(), "algorithm packages must not import %s; the simulated machine has no wall clock or environment", path)
+			case path == "math/rand" || path == "math/rand/v2":
+				if !isTest {
+					pass.Reportf(imp.Pos(), "algorithm packages must not import %s; randomness belongs to the scheduler models (internal/sched), never to an algorithm whose step bounds are being counted", path)
+				}
 			case path == "runtime" || strings.HasPrefix(path, "runtime/"):
 				if !isTest {
 					pass.Reportf(imp.Pos(), "algorithm packages must not import %s; process bodies run inline on an explorer worker, so runtime scheduling calls stall the engine, not a private goroutine", path)

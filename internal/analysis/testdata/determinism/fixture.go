@@ -4,6 +4,7 @@ package fixture
 
 import (
 	"math/rand"
+	randv2 "math/rand/v2"
 	"runtime"
 	"sort"
 	"sync"
@@ -161,6 +162,34 @@ func markedDispatcher(run func()) {
 // the service package is still flagged.
 func unmarkedDispatcher(run func()) {
 	go run() // want `goroutine spawn in a replay-sensitive package`
+}
+
+// math/rand/v2's package-level draws come from a global source seeded
+// with runtime entropy at process start — different every run, so the
+// same diagnostic applies to the v2 API.
+func unseededV2() int {
+	return randv2.IntN(4) // want `math/rand/v2\.IntN draws from the runtime-seeded global source`
+}
+
+func shuffledV2(xs []int) {
+	randv2.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand/v2\.Shuffle draws from the runtime-seeded global source`
+}
+
+// Explicitly seeded v2 generators are the stochastic schedulers'
+// sanctioned idiom: the stream is a pure function of the seed pair.
+func seededV2(seed uint64) int {
+	return randv2.New(randv2.NewPCG(seed, seed+1)).IntN(4)
+}
+
+// A seeded ChaCha8 source is equally deterministic.
+func seededChaCha(key [32]byte) uint64 {
+	return randv2.NewChaCha8(key).Uint64()
+}
+
+// Method calls on a seeded *rand.Rand are not package-level draws and
+// pass without markers, whatever the method.
+func seededV2Methods(r *randv2.Rand) float64 {
+	return r.Float64() + float64(r.IntN(3))
 }
 
 // Cache eviction must not draw unseeded randomness to pick a victim:

@@ -4,12 +4,14 @@
 package fixture
 
 import (
-	"iter"        // want `must not import iter`
-	"os"          // want `must not import os`
-	"runtime"     // want `must not import runtime`
-	"sync"        // want `must not import sync`
-	"sync/atomic" // want `must not import sync/atomic outside tests`
-	"time"        // want `must not import time`
+	"iter"                // want `must not import iter`
+	"math/rand"           // want `must not import math/rand`
+	randv2 "math/rand/v2" // want `must not import math/rand/v2`
+	"os"                  // want `must not import os`
+	"runtime"             // want `must not import runtime`
+	"sync"                // want `must not import sync`
+	"sync/atomic"         // want `must not import sync/atomic outside tests`
+	"time"                // want `must not import time`
 )
 
 var (
@@ -24,6 +26,13 @@ func spawn() {
 }
 
 func work() { mu.Lock(); defer mu.Unlock(); flag.Store(true); _ = environ }
+
+// Even a seeded generator is out of place in an algorithm: a "wait-free"
+// bound measured over random in-algorithm choices is not the paper's
+// bound. Randomized scheduling belongs to internal/sched's models.
+func randomizedBackoff(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(4) + randv2.New(randv2.NewPCG(1, 2)).IntN(4)
+}
 
 type pipe chan int // want `channel type in an algorithm package`
 

@@ -40,7 +40,13 @@ import (
 
 // Version is the current bundle format version. Load rejects bundles
 // with a newer version; older versions are upgraded where possible.
-const Version = 1
+// Version history:
+//
+//	1: script and seeded-random schedule modes.
+//	2: adds Sched.Model — registered scheduler-model specs
+//	   (sched.ModelSpec) as a first-class schedule mode. Version-1
+//	   bundles load and replay unchanged.
+const Version = 2
 
 // Meta identifies the workload a bundle replays and its full
 // configuration. Field applicability varies by workload; unused fields
@@ -74,14 +80,25 @@ type Meta struct {
 }
 
 // Sched describes how the replay resolves scheduling nondeterminism.
+// Mode precedence: a non-nil Model selects model mode (version 2);
+// otherwise Random selects seeded-random mode; otherwise the bundle is
+// in script mode.
 type Sched struct {
+	// Model, if non-nil, replays through a registered scheduler model
+	// (sched.NewFromSpec). A nonzero Seed overrides the spec's own
+	// seed, so campaign runs can share one spec and store only their
+	// derived per-run seed. Random-mode crash injection
+	// (CrashSeed/MaxCrashes/CrashProb) composes with model mode
+	// unchanged.
+	Model *sched.ModelSpec `json:"model,omitempty"`
 	// Random selects seeded-random mode; otherwise the bundle is in
 	// script mode and Decisions is replayed through sched.Script.
 	Random bool `json:"random,omitempty"`
 	// Decisions is the script-mode decision vector (candidate index at
 	// each decision point; past the end the replay picks candidate 0).
 	Decisions []int `json:"decisions,omitempty"`
-	// Seed seeds the random-mode chooser.
+	// Seed seeds the random-mode chooser (and overrides the model's
+	// seed in model mode).
 	Seed int64 `json:"seed,omitempty"`
 	// CrashSeed/MaxCrashes/CrashProb configure random-mode crash
 	// injection (sched.RandomCrash); MaxCrashes 0 disables it.
@@ -172,7 +189,21 @@ func Replay(b *Bundle, opts ReplayOptions) (*Report, error) {
 
 	var ch sim.Chooser
 	var script *sched.Script
-	if b.Sched.Random {
+	if b.Sched.Model != nil {
+		spec := b.Sched.Model
+		if b.Sched.Seed != 0 {
+			spec = spec.Clone()
+			spec.Seed = b.Sched.Seed
+		}
+		mch, err := sched.NewFromSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: scheduler model: %w", err)
+		}
+		ch = mch
+		if b.Sched.MaxCrashes > 0 {
+			ch = sched.NewRandomCrash(ch, b.Sched.CrashSeed, b.Sched.MaxCrashes, b.Sched.CrashProb)
+		}
+	} else if b.Sched.Random {
 		ch = sched.NewRandom(b.Sched.Seed)
 		if b.Sched.MaxCrashes > 0 {
 			ch = sched.NewRandomCrash(ch, b.Sched.CrashSeed, b.Sched.MaxCrashes, b.Sched.CrashProb)
@@ -369,6 +400,11 @@ func Load(path string) (*Bundle, error) {
 	}
 	if b.Meta.Workload == "" {
 		return nil, fmt.Errorf("artifact: %s: bundle names no workload", path)
+	}
+	if b.Sched.Model != nil {
+		if err := b.Sched.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("artifact: %s: %w", path, err)
+		}
 	}
 	return b, nil
 }

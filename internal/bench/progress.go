@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/check"
+	"repro/internal/sched"
+)
+
+// ProgressLeg is the measured per-invocation progress distribution of
+// one workload under the stochastic scheduler: the summary statistics
+// of a check.ProgressStats, without the histogram (the full
+// distribution is the measurement job's artifact; the bench trajectory
+// keeps only the tail figures the gate compares).
+type ProgressLeg struct {
+	Workload string `json:"workload"`
+	// DeclaredBound is the workload's declared worst-case statement
+	// bound (artifact.DeclaredBound; 0 when the workload declares none,
+	// as the negative control deliberately does).
+	DeclaredBound int64 `json:"declared_bound,omitempty"`
+	Samples       int64 `json:"samples"`
+	// Censored counts invocations still unfinished when their run ended
+	// — the starvation signal. Zero for a wait-free algorithm under any
+	// scheduler that keeps scheduling everyone.
+	Censored int64 `json:"censored"`
+	P50      int64 `json:"p50"`
+	P99      int64 `json:"p99"`
+	P999     int64 `json:"p999"`
+	Max      int64 `json:"max"`
+	// CensoredMax is the largest in-flight statement count among
+	// censored invocations — a lower bound on how far past Max the true
+	// worst case lies.
+	CensoredMax int64   `json:"censored_max,omitempty"`
+	HalfLife    float64 `json:"half_life,omitempty"`
+}
+
+// worst is the leg's observed worst case: the larger of the completed
+// maximum and the censored lower bound.
+func (l ProgressLeg) worst() int64 {
+	return max(l.Max, l.CensoredMax)
+}
+
+// ProgressBench is the "practically wait-free" comparison (schema v4):
+// the Fig. 3 wait-free consensus and the lock-based counter negative
+// control measured under the same stochastic scheduler and replay
+// count. The wait-free leg must respect its declared bound at every
+// percentile; the lock-based leg starves, and Gap quantifies by how
+// much.
+type ProgressBench struct {
+	Model   string `json:"sched_model"`
+	Replays int    `json:"replays"`
+	// WaitFree is the Fig. 3 unicons leg, Locked the lockcounter
+	// negative control.
+	WaitFree ProgressLeg `json:"waitfree"`
+	Locked   ProgressLeg `json:"lockbased"`
+	// Gap is the starvation gap: the lock-based worst case (completed
+	// max or censored lower bound, whichever is larger) over the
+	// wait-free observed max. The headline figure the bench gate holds.
+	Gap float64 `json:"starvation_gap"`
+}
+
+// Pinned measurement workloads: the Fig. 3 algorithm in its correct
+// three-process configuration, and the lock-based counter in the
+// starvation-prone configuration the negative-control tests use. Small
+// step limits keep a starved lockcounter run from spinning long.
+var (
+	progressWaitFreeMeta = artifact.Meta{Workload: "unicons", N: 3, V: 1, Quantum: 2, MaxSteps: 1 << 14}
+	progressLockedMeta   = artifact.Meta{Workload: "lockcounter", N: 2, V: 2, Quantum: 2, MaxSteps: 4000}
+)
+
+// DefaultProgressModel is the scheduler model MeasureProgress uses when
+// given none: seeded uniform-random, so the whole measurement is a
+// deterministic function of the replay count.
+const DefaultProgressModel = "uniform:seed=1"
+
+// measureLeg fuzzes one workload in measurement mode and reduces the
+// resulting distribution to a leg summary.
+func measureLeg(meta artifact.Meta, spec *sched.ModelSpec, replays, parallelism int) (ProgressLeg, error) {
+	build, err := check.BuilderFor(meta)
+	if err != nil {
+		return ProgressLeg{}, err
+	}
+	res := check.Fuzz(build, replays, check.Options{
+		MaxSchedules: replays,
+		Parallelism:  parallelism,
+		SchedModel:   spec,
+		Measure:      true,
+	})
+	p := res.Progress
+	if p == nil || p.Runs == 0 {
+		return ProgressLeg{}, fmt.Errorf("bench: %s measurement produced no runs", meta.Workload)
+	}
+	return ProgressLeg{
+		Workload:      meta.Workload,
+		DeclaredBound: artifact.DeclaredBound(meta),
+		Samples:       p.Samples,
+		Censored:      p.Censored,
+		P50:           p.P50,
+		P99:           p.P99,
+		P999:          p.P999,
+		Max:           p.Max,
+		CensoredMax:   p.CensoredMax,
+		HalfLife:      p.HalfLife,
+	}, nil
+}
+
+// MeasureProgress runs the practically-wait-free measurement pair:
+// both pinned workloads fuzzed `replays` times under the same scheduler
+// model ("" = DefaultProgressModel). Like MeasureReduction, the bench
+// doubles as a soundness cross-check — it errors if the wait-free leg
+// exceeds its declared bound or shows censored (starved) invocations,
+// or if the negative control fails to starve at all, since a progress
+// section asserting a gap that is not there would poison the baseline
+// the gate compares against.
+func MeasureProgress(model string, replays, parallelism int) (ProgressBench, error) {
+	if model == "" {
+		model = DefaultProgressModel
+	}
+	spec, err := sched.ParseModelSpec(model)
+	if err != nil {
+		return ProgressBench{}, fmt.Errorf("bench: %w", err)
+	}
+	wf, err := measureLeg(progressWaitFreeMeta, spec, replays, parallelism)
+	if err != nil {
+		return ProgressBench{}, err
+	}
+	lk, err := measureLeg(progressLockedMeta, spec, replays, parallelism)
+	if err != nil {
+		return ProgressBench{}, err
+	}
+	if wf.DeclaredBound > 0 && wf.Max > wf.DeclaredBound {
+		return ProgressBench{}, fmt.Errorf("bench: wait-free leg exceeded its declared bound: max %d > %d", wf.Max, wf.DeclaredBound)
+	}
+	if wf.Censored != 0 {
+		return ProgressBench{}, fmt.Errorf("bench: wait-free leg left %d invocations unfinished", wf.Censored)
+	}
+	if lk.Censored == 0 && lk.worst() <= wf.Max {
+		return ProgressBench{}, fmt.Errorf("bench: negative control did not starve (worst %d vs wait-free max %d)", lk.worst(), wf.Max)
+	}
+	return ProgressBench{
+		Model:    spec.String(),
+		Replays:  replays,
+		WaitFree: wf,
+		Locked:   lk,
+		Gap:      float64(lk.worst()) / float64(wf.Max),
+	}, nil
+}

@@ -1,0 +1,55 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestMeasureProgressGapAndDeterminism pins the bench-level progress
+// measurement: under the default seeded model the wait-free leg is
+// bounded and uncensored, the negative control starves, the gap is
+// large, and the whole report is a deterministic function of the
+// replay count — identical at parallelism 1 and 4, so the committed
+// BENCH_explore.json progress section is machine-independent.
+func TestMeasureProgressGapAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement sweep is not short")
+	}
+	const replays = 300
+	seq, err := bench.MeasureProgress("", replays, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := bench.MeasureProgress("", replays, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(seq)
+	b, _ := json.Marshal(par)
+	if string(a) != string(b) {
+		t.Errorf("progress measurement differs across parallelism\n seq: %s\n par: %s", a, b)
+	}
+	if seq.WaitFree.DeclaredBound == 0 || seq.WaitFree.Max > seq.WaitFree.DeclaredBound {
+		t.Errorf("wait-free leg out of bound: %+v", seq.WaitFree)
+	}
+	if seq.Locked.Censored == 0 {
+		t.Errorf("negative control shows no starved invocations: %+v", seq.Locked)
+	}
+	if seq.Gap < 2 {
+		t.Errorf("starvation gap %.2f, want >= 2", seq.Gap)
+	}
+}
+
+// TestMeasureProgressRejectsBadModel pins the error surface: an
+// unparseable or unknown model fails fast instead of measuring under
+// something else.
+func TestMeasureProgressRejectsBadModel(t *testing.T) {
+	if _, err := bench.MeasureProgress("nosuch", 10, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := bench.MeasureProgress("markov:warp=1", 10, 1); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}

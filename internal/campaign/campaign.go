@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/sched"
 )
 
 // Config parameterizes one campaign.
@@ -33,6 +34,16 @@ type Config struct {
 	// (ignored for soakmix).
 	N, V, Quantum int
 	WaitFreeBound int64
+	// SchedModel, when non-nil, replaces the default seeded-random
+	// schedule source with a registered scheduler model: every derived
+	// run replays the model with its per-run derived seed (the
+	// artifact.Sched.Seed override), so the campaign stays a
+	// deterministic function of (identity, index). Use simple
+	// (non-wrapper) specs here — crash injection comes from
+	// CrashSeed/MaxCrashes, which compose with the model; a wrapper
+	// spec's inner seeds would not vary per run. Part of the campaign
+	// identity (canonical spec string).
+	SchedModel *sched.ModelSpec
 	// Parallel is the number of concurrent workers (0 = all CPUs).
 	Parallel int
 	// Derive maps a run index to the bundle to replay. Nil selects the
@@ -113,14 +124,26 @@ func (c Config) derive() func(int64) (artifact.Meta, artifact.Sched) {
 		return c.Derive
 	}
 	base, crash, max := c.BaseSeed, c.CrashSeed, c.MaxCrashes
+	// withModel rewrites a derived random-mode Sched into model mode:
+	// the shared spec plus the per-run derived seed (which overrides the
+	// spec's own seed at replay), with the crash knobs untouched.
+	withModel := func(s artifact.Sched) artifact.Sched {
+		if c.SchedModel != nil {
+			s.Model = c.SchedModel
+			s.Random = false
+		}
+		return s
+	}
 	if w := c.Workload; w != "" && w != "soakmix" {
 		n, v, q, wf := c.N, c.V, c.Quantum, c.WaitFreeBound
 		return func(idx int64) (artifact.Meta, artifact.Sched) {
-			return artifact.SeededMeta(w, n, v, q, wf, base, crash, idx, max)
+			m, s := artifact.SeededMeta(w, n, v, q, wf, base, crash, idx, max)
+			return m, withModel(s)
 		}
 	}
 	return func(idx int64) (artifact.Meta, artifact.Sched) {
-		return artifact.SoakMeta(base, crash, idx, max)
+		m, s := artifact.SoakMeta(base, crash, idx, max)
+		return m, withModel(s)
 	}
 }
 
@@ -129,6 +152,9 @@ func (c Config) identity() Identity {
 	if w := c.Workload; w != "" && w != "soakmix" {
 		id.Workload = w
 		id.N, id.V, id.Quantum, id.WaitFreeBound = c.N, c.V, c.Quantum, c.WaitFreeBound
+	}
+	if c.SchedModel != nil {
+		id.SchedModel = c.SchedModel.String()
 	}
 	return id
 }

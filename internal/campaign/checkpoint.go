@@ -32,6 +32,11 @@ type Identity struct {
 	V             int   `json:"v,omitempty"`
 	Quantum       int   `json:"quantum,omitempty"`
 	WaitFreeBound int64 `json:"waitfree_bound,omitempty"`
+	// SchedModel is the canonical scheduler-model spec string
+	// (sched.ModelSpec.String) when the campaign replaces the default
+	// seeded-random schedule source; empty for the default, so
+	// pre-existing checkpoints load unchanged.
+	SchedModel string `json:"sched_model,omitempty"`
 }
 
 // Violation is one property violation found by a campaign run.

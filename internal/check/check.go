@@ -83,6 +83,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/minimize"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -214,6 +215,27 @@ type Options struct {
 	// must come from the same explorer over the same builder (the
 	// explorers check Frontier.Explorer). ReductionNone only.
 	SeedFrontier *Frontier
+	// SchedModel selects the scheduler model Fuzz draws schedules from
+	// (nil = the historical seeded sched.Random). Each seed's chooser
+	// is the model rebuilt (or reseeded, for Reseedable single-node
+	// specs) with every stochastic node's seed derived from (its
+	// configured seed, the run seed) — so the sweep is deterministic
+	// per (spec, seed range) and any single run replays from its
+	// derived spec. Wrapper specs (e.g. randomcrash around markov)
+	// inject faults exactly as the legacy crash-fuzz wiring did. The
+	// spec must validate (sched.ModelSpec.Validate); Fuzz panics on an
+	// invalid spec, as on any builder misuse. Tree explorers ignore
+	// SchedModel: their schedules are decision vectors, not draws.
+	SchedModel *sched.ModelSpec
+	// Measure enables the "practically wait-free" measurement mode in
+	// Fuzz: every executed run's per-invocation own-statement counts
+	// (completed, plus censored in-flight counts of non-crashed
+	// processes) are accumulated into a histogram, reduced to
+	// Result.Progress. Worker-local accumulation with commutative
+	// merge keeps the report byte-identical across Parallelism levels.
+	// Runs skipped by RunDeadline and runs that panicked are not
+	// measured. Tree explorers ignore Measure.
+	Measure bool
 	// Minimize shrinks each recorded violation's bundle to a minimal
 	// still-failing kernel (internal/minimize) before attaching it.
 	// Requires ArtifactMeta. Shrinking happens after exploration, fanned
@@ -348,6 +370,9 @@ type Result struct {
 	// Options.Reduction was ReductionNone or the explorer ignores
 	// reduction (Fuzz).
 	Reduction *ReductionStats
+	// Progress is the empirical progress-bound report of a measured
+	// exploration (Options.Measure); nil otherwise.
+	Progress *ProgressStats
 }
 
 // OK reports whether no violation was found.

@@ -73,9 +73,10 @@ type collector struct {
 	degradeFloor bool         // under mu
 	degradations []string     // under mu
 
-	mu     sync.Mutex
-	viols  []keyedViolation // sorted by key, capped at maxViol
-	fronts []keyedFrontier  // exported frontier items (ExportFrontier)
+	mu      sync.Mutex
+	viols   []keyedViolation // sorted by key, capped at maxViol
+	fronts  []keyedFrontier  // exported frontier items (ExportFrontier)
+	measure *measureAcc      // merged measurement histogram (Options.Measure)
 
 	start     time.Time
 	progEvery int64
@@ -281,6 +282,13 @@ func (c *collector) result() *Result {
 	}
 	c.mu.Lock()
 	res.Degradations = c.degradations
+	if c.opts.Measure {
+		m := c.measure
+		if m == nil {
+			m = newMeasureAcc() // measured exploration with zero runs
+		}
+		res.Progress = m.stats()
+	}
 	c.mu.Unlock()
 	viols := c.viols
 	if c.opts.StopAtFirst && len(viols) > 1 {
@@ -717,8 +725,16 @@ func (w *budgetWorker) process(item *budgetItem, push func(*budgetItem)) {
 }
 
 // Fuzz runs nSeeds seeded pseudo-random schedules, sharding the seed
-// range over opts.Parallelism workers.
+// range over opts.Parallelism workers. Options.SchedModel swaps the
+// schedule source for a registered scheduler model; Options.Measure
+// additionally accumulates the empirical progress-bound report into
+// Result.Progress.
 func Fuzz(build Builder, nSeeds int, opts Options) *Result {
+	if opts.SchedModel != nil {
+		if err := opts.SchedModel.Validate(); err != nil {
+			panic(err) // builder misuse: specs from user input are validated upstream
+		}
+	}
 	c := newCollector(opts)
 	n := int64(nSeeds)
 	if n > c.maxSched {
@@ -732,11 +748,45 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 		go func() {
 			defer wg.Done()
 			r := newRunner(build)
-			rng := sched.NewRandom(0)
 			dog := newWatchdog(opts)
 			var rec *sched.Record
 			if c.opts.needDecisions() {
-				rec = sched.NewRecord(rng)
+				rec = sched.NewRecord(nil)
+			}
+			var acc *measureAcc
+			if c.opts.Measure {
+				acc = newMeasureAcc()
+				defer func() { c.mergeMeasure(acc) }()
+			}
+			// Schedule source: the legacy seeded Random (reseeded in
+			// place per run), a Reseedable single-node model (reseeded in
+			// place with the derived run seed), or a full per-run model
+			// rebuild for wrapper and non-reseedable specs.
+			spec := opts.SchedModel
+			var rng *sched.Random
+			var fast sched.Reseedable
+			if spec == nil {
+				rng = sched.NewRandom(0)
+			} else if spec.Inner == nil {
+				if base, err := sched.NewFromSpec(spec); err == nil {
+					fast, _ = base.(sched.Reseedable)
+				}
+			}
+			chooserFor := func(seed int64) sim.Chooser {
+				switch {
+				case rng != nil:
+					rng.Reseed(seed)
+					return rng
+				case fast != nil:
+					fast.Reseed(sched.RunSeed(spec.Seed, seed))
+					return fast
+				default:
+					ch, err := sched.NewFromSpec(spec.WithRunSeed(seed))
+					if err != nil {
+						panic(err) // unreachable: spec validated at entry
+					}
+					return ch
+				}
 			}
 			for {
 				if c.stopped() {
@@ -750,10 +800,9 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 				var panicked bool
 				describe := func() string { return fmt.Sprintf("seed=%d", seed) }
 				for attempt := 0; ; attempt++ {
-					rng.Reseed(seed)
-					var ch sim.Chooser = rng
+					var ch sim.Chooser = chooserFor(seed)
 					if rec != nil {
-						rec.Reset(rng)
+						rec.Reset(ch)
 						ch = rec
 					}
 					ch = dog.arm(ch)
@@ -762,7 +811,11 @@ func Fuzz(build Builder, nSeeds int, opts Options) *Result {
 						if dog.fired() {
 							return nil // timed out; handled below
 						}
-						return c.outcome(sys, verify, runErr)
+						out := c.outcome(sys, verify, runErr)
+						if acc != nil {
+							acc.observe(sys)
+						}
+						return out
 					})
 					if !panicked && dog.fired() && attempt == 0 {
 						continue // retry a timed-out run once

@@ -1,0 +1,197 @@
+package check
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file implements Options.Measure, the "practically wait-free"
+// measurement mode: across a fuzz sweep's replays it records the
+// distribution of per-invocation own-statement counts
+// (sim.Process.InvStmts) and reports empirical progress bounds — tail
+// percentiles, the maximum observed invocation, and the starvation
+// half-life of the tail. Wait-free constructions show a compact tail
+// that respects their declared bound at every percentile; the
+// lockcounter negative control shows a censored-dominated tail whose
+// maximum tracks the step budget (unbounded-trending).
+//
+// Determinism under pooled parallel replay: each worker accumulates
+// into a private histogram and merges it into the collector once, and
+// merging is integer addition — commutative and associative — so the
+// final histogram (and every statistic derived from it) is independent
+// of worker count, scheduling, and merge order. The per-run samples
+// themselves are replay-deterministic (the sim is a pure function of
+// the decision sequence), so Measure at Parallelism 1 and 64 produce
+// byte-identical ProgressStats.
+
+// ProgressBucket is one histogram cell of a measured distribution:
+// Count invocations completed in exactly Stmts own statements, and
+// Censored invocations were still in flight at that count when their
+// run ended.
+type ProgressBucket struct {
+	Stmts    int64 `json:"stmts"`
+	Count    int64 `json:"count,omitempty"`
+	Censored int64 `json:"censored,omitempty"`
+}
+
+// ProgressStats is the empirical progress-bound report of a measured
+// exploration (Options.Measure).
+//
+// Percentiles are computed over the combined sample: completed
+// invocations at their exact cost plus censored (in-flight at run end,
+// non-crashed) invocations at their observed cost. A censored sample
+// is a lower bound on its invocation's true cost, so every reported
+// percentile is a lower bound on the true tail — conservative in
+// exactly the direction that makes "the tail respects the declared
+// bound" a meaningful claim. Crashed processes' in-flight statements
+// are excluded, mirroring the WaitFreeBound property.
+type ProgressStats struct {
+	// Runs is the number of measured runs (executed schedules).
+	Runs int64 `json:"runs"`
+	// Samples is the number of completed invocations observed.
+	Samples int64 `json:"samples"`
+	// Censored is the number of in-flight invocations observed at run
+	// end (excluding crashed processes). A large censored share is
+	// itself a starvation signal: invocations that never finish.
+	Censored int64 `json:"censored"`
+	// P50/P90/P99/P999 are tail percentiles of per-invocation
+	// own-statement cost over the combined sample.
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P99  int64 `json:"p99"`
+	P999 int64 `json:"p999"`
+	// Max is the worst observed invocation (completed or censored).
+	Max int64 `json:"max"`
+	// CensoredMax is the worst censored observation alone. When it
+	// equals Max and tracks the run step budget, the workload is
+	// starvation-bound, not just slow.
+	CensoredMax int64 `json:"censored_max,omitempty"`
+	// HalfLife estimates the tail decay rate: the number of additional
+	// statements over which the survival probability halves, fitted
+	// between P50 and P999 (0 when the tail is too compact or too small
+	// to fit). Wait-free workloads have a half-life of a few
+	// statements; a starving workload's half-life grows with the step
+	// budget because probability mass piles up at the censoring point.
+	HalfLife float64 `json:"half_life"`
+	// Hist is the full distribution, ascending by Stmts — the raw data
+	// behind the summary, exported so campaigns can re-aggregate.
+	Hist []ProgressBucket `json:"hist,omitempty"`
+}
+
+// measureAcc is one worker's private histogram accumulator.
+type measureAcc struct {
+	completed map[int64]int64
+	censored  map[int64]int64
+	runs      int64
+}
+
+func newMeasureAcc() *measureAcc {
+	return &measureAcc{completed: map[int64]int64{}, censored: map[int64]int64{}}
+}
+
+// observe folds one completed run's invocation samples in. Crashed
+// processes' in-flight invocations are skipped; their completed
+// invocations (pre-crash) still count.
+func (a *measureAcc) observe(sys *sim.System) {
+	a.runs++
+	for _, p := range sys.Processes() {
+		for _, n := range p.InvStmts() {
+			a.completed[n]++
+		}
+		if !p.Crashed() {
+			if n := p.InflightStmts(); n > 0 {
+				a.censored[n]++
+			}
+		}
+	}
+}
+
+// mergeMeasure folds a worker's accumulator into the collector's.
+// Addition is commutative, so the merged histogram is independent of
+// worker timing and merge order.
+func (c *collector) mergeMeasure(a *measureAcc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.measure == nil {
+		c.measure = newMeasureAcc()
+	}
+	c.measure.runs += a.runs
+	//repro:allow maporder commutative addition into a map; merge order cannot reach output
+	for k, v := range a.completed {
+		c.measure.completed[k] += v
+	}
+	//repro:allow maporder commutative addition into a map; merge order cannot reach output
+	for k, v := range a.censored {
+		c.measure.censored[k] += v
+	}
+}
+
+// stats reduces the merged histogram to the exported report.
+func (a *measureAcc) stats() *ProgressStats {
+	st := &ProgressStats{Runs: a.runs}
+	values := map[int64]bool{}
+	//repro:allow maporder commutative sum and set insertion; the value set is sorted before emission
+	for k, v := range a.completed {
+		st.Samples += v
+		values[k] = true
+	}
+	//repro:allow maporder commutative sum, set insertion, and max; the value set is sorted before emission
+	for k, v := range a.censored {
+		st.Censored += v
+		values[k] = true
+		if k > st.CensoredMax {
+			st.CensoredMax = k
+		}
+	}
+	if len(values) == 0 {
+		return st
+	}
+	keys := make([]int64, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	st.Hist = make([]ProgressBucket, 0, len(keys))
+	for _, k := range keys {
+		st.Hist = append(st.Hist, ProgressBucket{Stmts: k, Count: a.completed[k], Censored: a.censored[k]})
+	}
+	total := st.Samples + st.Censored
+	st.Max = keys[len(keys)-1]
+	quantile := func(q float64) int64 {
+		want := int64(math.Ceil(q * float64(total)))
+		if want < 1 {
+			want = 1
+		}
+		var cum int64
+		for _, b := range st.Hist {
+			cum += b.Count + b.Censored
+			if cum >= want {
+				return b.Stmts
+			}
+		}
+		return st.Max
+	}
+	st.P50 = quantile(0.50)
+	st.P90 = quantile(0.90)
+	st.P99 = quantile(0.99)
+	st.P999 = quantile(0.999)
+	// Survival-based half-life fit between P50 and P999: the span
+	// divided by how many halvings the survival function undergoes
+	// across it.
+	surv := func(v int64) int64 {
+		var n int64
+		for _, b := range st.Hist {
+			if b.Stmts > v {
+				n += b.Count + b.Censored
+			}
+		}
+		return n
+	}
+	s50, s999 := surv(st.P50), surv(st.P999)
+	if st.P999 > st.P50 && s999 > 0 && s50 > s999 {
+		st.HalfLife = float64(st.P999-st.P50) / math.Log2(float64(s50)/float64(s999))
+	}
+	return st
+}

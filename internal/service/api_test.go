@@ -369,6 +369,52 @@ func TestLintJobAndArtifactRoute(t *testing.T) {
 	}
 }
 
+// TestMeasureJobEndToEnd drives a measurement job through the farm:
+// jobspec submit → service runner → stored progress-distribution
+// artifact. The lockcounter negative control under a declared bound
+// exceeds it (counted in Violations) but still finishes Done — a
+// measurement is an observation, not a check.
+func TestMeasureJobEndToEnd(t *testing.T) {
+	svc, ts := newFarm(t, service.Config{GlobalWorkers: 2, MaxActiveJobs: 1})
+	defer svc.Stop()
+	body := `{"kind":"measure","measure":{"meta":{"workload":"lockcounter","n":2,"v":2,"quantum":2,"max_steps":2000,"waitfree_bound":200},"sched_model":"uniform:seed=1","replays":200}}`
+	code, resp := doJSON(t, "POST", ts.URL+"/jobs", body)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %v", code, resp)
+	}
+	id := resp["id"].(string)
+	st := waitJob(t, svc, id, "terminal", isTerminal)
+	if st.State != service.StateDone {
+		t.Fatalf("measure job: %+v, want done despite over-bound runs", st)
+	}
+	if st.Violations == 0 {
+		t.Fatalf("lockcounter under bound 200 recorded no over-bound runs: %+v", st)
+	}
+	if len(st.Artifacts) != 1 {
+		t.Fatalf("measure job stored %d artifacts, want 1 (progress report)", len(st.Artifacts))
+	}
+	code, prog := doJSON(t, "GET", ts.URL+"/jobs/"+id+"/artifacts/0", "")
+	if code != http.StatusOK {
+		t.Fatalf("artifact 0: %d", code)
+	}
+	if runs, ok := prog["runs"].(float64); !ok || int(runs) != 200 {
+		t.Fatalf("progress report runs = %v, want 200 (report: %v)", prog["runs"], prog)
+	}
+	for _, field := range []string{"samples", "p50", "p99", "max", "hist"} {
+		if _, ok := prog[field]; !ok {
+			t.Errorf("progress report missing %q: %v", field, prog)
+		}
+	}
+	if censored, ok := prog["censored"].(float64); !ok || censored == 0 {
+		t.Errorf("lockcounter measurement censored = %v, want > 0 (starved invocations in flight)", prog["censored"])
+	}
+	// A malformed model spec is rejected at submit time, not at run time.
+	code, _ = doJSON(t, "POST", ts.URL+"/jobs", `{"kind":"measure","measure":{"meta":{"workload":"unicons","n":2,"quantum":2},"sched_model":"markov:warp=1"}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad model spec accepted: code %d, want 400", code)
+	}
+}
+
 func TestBenchEndpoints(t *testing.T) {
 	svc, ts := newFarm(t, service.Config{})
 	defer svc.Stop()

@@ -24,13 +24,15 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/campaign"
 	"repro/internal/check"
+	"repro/internal/sched"
 )
 
 // Job kinds.
 const (
-	KindCheck = "check"
-	KindSoak  = "soak"
-	KindLint  = "lint"
+	KindCheck   = "check"
+	KindSoak    = "soak"
+	KindLint    = "lint"
+	KindMeasure = "measure"
 )
 
 // Spec is one submittable job: exactly one of the kind-specific
@@ -38,8 +40,9 @@ const (
 type Spec struct {
 	// Kind selects the job type: "check" (schedule-space exploration,
 	// cmd/checker's work), "soak" (a durable replay campaign, cmd/soak's
-	// work), or "lint" (a reprolint static-analysis run, cmd/reprolint's
-	// work).
+	// work), "lint" (a reprolint static-analysis run, cmd/reprolint's
+	// work), or "measure" (an empirical progress-bound measurement
+	// campaign, cmd/checker -measure's work).
 	Kind string `json:"kind"`
 	// Check is the exploration spec (Kind "check").
 	Check *Check `json:"check,omitempty"`
@@ -47,30 +50,53 @@ type Spec struct {
 	Soak *Soak `json:"soak,omitempty"`
 	// Lint is the static-analysis spec (Kind "lint").
 	Lint *Lint `json:"lint,omitempty"`
+	// Measure is the measurement spec (Kind "measure").
+	Measure *Measure `json:"measure,omitempty"`
+}
+
+// payloads returns the set payloads and whether the one matching Kind
+// is among them.
+func (s *Spec) payloads() (n int, matching bool) {
+	for _, p := range []struct {
+		kind string
+		set  bool
+	}{
+		{KindCheck, s.Check != nil},
+		{KindSoak, s.Soak != nil},
+		{KindLint, s.Lint != nil},
+		{KindMeasure, s.Measure != nil},
+	} {
+		if p.set {
+			n++
+			if p.kind == s.Kind {
+				matching = true
+			}
+		}
+	}
+	return n, matching
 }
 
 // Validate checks the spec's shape and its kind-specific payload.
 func (s *Spec) Validate() error {
 	switch s.Kind {
-	case KindCheck:
-		if s.Check == nil || s.Soak != nil || s.Lint != nil {
-			return fmt.Errorf("jobspec: kind %q wants exactly the check payload", s.Kind)
+	case KindCheck, KindSoak, KindLint, KindMeasure:
+		if n, ok := s.payloads(); n != 1 || !ok {
+			return fmt.Errorf("jobspec: kind %q wants exactly the %s payload", s.Kind, s.Kind)
 		}
+	case "":
+		return fmt.Errorf("jobspec: missing kind (want %q, %q, %q, or %q)", KindCheck, KindSoak, KindLint, KindMeasure)
+	default:
+		return fmt.Errorf("jobspec: unknown kind %q (want %q, %q, %q, or %q)", s.Kind, KindCheck, KindSoak, KindLint, KindMeasure)
+	}
+	switch s.Kind {
+	case KindCheck:
 		return s.Check.Validate()
 	case KindSoak:
-		if s.Soak == nil || s.Check != nil || s.Lint != nil {
-			return fmt.Errorf("jobspec: kind %q wants exactly the soak payload", s.Kind)
-		}
 		return s.Soak.Validate()
 	case KindLint:
-		if s.Lint == nil || s.Check != nil || s.Soak != nil {
-			return fmt.Errorf("jobspec: kind %q wants exactly the lint payload", s.Kind)
-		}
 		return s.Lint.Validate()
-	case "":
-		return fmt.Errorf("jobspec: missing kind (want %q, %q, or %q)", KindCheck, KindSoak, KindLint)
 	default:
-		return fmt.Errorf("jobspec: unknown kind %q (want %q, %q, or %q)", s.Kind, KindCheck, KindSoak, KindLint)
+		return s.Measure.Validate()
 	}
 }
 
@@ -88,6 +114,9 @@ func (s *Spec) Describe() string {
 		return fmt.Sprintf("soak %s runs=%d seed=%d", w, s.Soak.Runs, s.Soak.Seed)
 	case s.Lint != nil:
 		return "lint " + strings.Join(s.Lint.ResolvedPatterns(), " ")
+	case s.Measure != nil:
+		m := s.Measure
+		return fmt.Sprintf("measure %s model=%s replays=%d", m.Meta.Workload, m.ResolvedModel(), m.ResolvedReplays())
 	default:
 		return "invalid spec"
 	}
@@ -152,6 +181,10 @@ type Check struct {
 	// MemSoftMB is the soft heap ceiling in MiB
 	// (check.Options.MemSoftLimit; 0 = off).
 	MemSoftMB int64 `json:"mem_soft_mb,omitempty"`
+	// Model, mode "fuzz" only, swaps the schedule source for a
+	// registered scheduler model (sched.ParseModelSpec grammar, compact
+	// or JSON form; "" = the historical seeded random).
+	Model string `json:"sched_model,omitempty"`
 }
 
 // Validate checks the exploration spec against the workload registry
@@ -171,6 +204,14 @@ func (c *Check) Validate() error {
 	}
 	if _, err := check.ParseReduction(c.reduction()); err != nil {
 		return fmt.Errorf("jobspec: %w", err)
+	}
+	if c.Model != "" {
+		if c.Mode != ModeFuzz {
+			return fmt.Errorf("jobspec: sched_model requires mode %q (tree explorers enumerate decisions, they do not draw)", ModeFuzz)
+		}
+		if _, err := sched.ParseModelSpec(c.Model); err != nil {
+			return fmt.Errorf("jobspec: %w", err)
+		}
 	}
 	return nil
 }
@@ -216,6 +257,13 @@ func (c *Check) Options() (check.Options, error) {
 		opts.ArtifactMeta = &meta
 		opts.Minimize = c.Minimize
 		opts.ShrinkBudget = c.ShrinkBudget
+	}
+	if c.Model != "" {
+		spec, err := sched.ParseModelSpec(c.Model)
+		if err != nil {
+			return check.Options{}, fmt.Errorf("jobspec: %w", err)
+		}
+		opts.SchedModel = spec
 	}
 	return opts, nil
 }
@@ -285,6 +333,13 @@ type Soak struct {
 	// KeepGoing records violations and continues instead of stopping
 	// the campaign at the first one.
 	KeepGoing bool `json:"keep_going,omitempty"`
+	// Model swaps the campaign's schedule source for a registered
+	// scheduler model (sched.ParseModelSpec grammar; "" = the default
+	// seeded random). Simple (non-wrapper) specs only: campaign crash
+	// injection comes from CrashSeed/MaxCrashes, and a wrapper spec's
+	// inner seeds would not vary per run. Part of the campaign
+	// identity.
+	Model string `json:"sched_model,omitempty"`
 }
 
 // Validate checks the campaign spec against the workload registry.
@@ -296,6 +351,15 @@ func (s *Soak) Validate() error {
 		s.Quantum < 0 || s.WaitFreeBound < 0 || s.RunDeadlineMS < 0 ||
 		s.CheckpointEvery < 0 || s.MemSoftMB < 0 {
 		return fmt.Errorf("jobspec: negative bound in soak spec")
+	}
+	if s.Model != "" {
+		spec, err := sched.ParseModelSpec(s.Model)
+		if err != nil {
+			return fmt.Errorf("jobspec: %w", err)
+		}
+		if spec.Inner != nil {
+			return fmt.Errorf("jobspec: soak sched_model %q: wrapper specs are not campaign-derivable (use crash_seed/max_crashes for faults)", s.Model)
+		}
 	}
 	return nil
 }
@@ -313,7 +377,12 @@ func (s *Soak) ResolvedCrashSeed() int64 {
 // concerns — StateDir, ArtifactDir, Stop, Log, Progress — are zero and
 // layered on by the CLI or the service.
 func (s *Soak) Config() campaign.Config {
+	var model *sched.ModelSpec
+	if s.Model != "" {
+		model, _ = sched.ParseModelSpec(s.Model) // validated by Validate
+	}
 	return campaign.Config{
+		SchedModel: model,
 		Runs:            s.Runs,
 		BaseSeed:        s.Seed,
 		CrashSeed:       s.ResolvedCrashSeed(),
@@ -386,5 +455,96 @@ func SoakFromIdentity(id campaign.Identity) *Soak {
 		Seed:          id.BaseSeed,
 		CrashSeed:     id.CrashSeed,
 		MaxCrashes:    id.MaxCrashes,
+		Model:         id.SchedModel,
 	}
+}
+
+// DefaultMeasureReplays is the measurement campaign length when the
+// spec leaves Replays zero.
+const DefaultMeasureReplays = 2000
+
+// Measure specifies one empirical progress-bound measurement campaign
+// — the job-shaped form of cmd/checker's -measure flag. The job fuzzes
+// Replays runs of the workload under the scheduler model and reduces
+// every run's per-invocation statement counts to a
+// check.ProgressStats distribution (the stored artifact). Violations
+// (e.g. Meta.WaitFreeBound hits) are counted but do not fail the job:
+// a negative control exceeding its bound is the measurement working,
+// not the farm failing.
+type Measure struct {
+	// Meta is the workload-registry reference, including the optional
+	// declared bound to count violations against.
+	Meta artifact.Meta `json:"meta"`
+	// Model is the scheduler model to measure under
+	// (sched.ParseModelSpec grammar; "" = "uniform").
+	Model string `json:"sched_model,omitempty"`
+	// Replays is the number of measured runs (0 = 2000).
+	Replays int `json:"replays,omitempty"`
+	// Parallelism is the requested worker count (0 = all CPUs; a cap
+	// under the service's fair share).
+	Parallelism int `json:"parallelism,omitempty"`
+	// RunDeadlineMS bounds each run in wall-clock milliseconds
+	// (0 = off).
+	RunDeadlineMS int64 `json:"run_deadline_ms,omitempty"`
+}
+
+// Validate checks the measurement spec against the workload and model
+// registries.
+func (m *Measure) Validate() error {
+	if !artifact.Known(m.Meta.Workload) {
+		return fmt.Errorf("jobspec: unknown workload %q (have %v)", m.Meta.Workload, artifact.Workloads())
+	}
+	if m.Replays < 0 || m.Parallelism < 0 || m.RunDeadlineMS < 0 {
+		return fmt.Errorf("jobspec: negative bound in measure spec")
+	}
+	if _, err := sched.ParseModelSpec(m.ResolvedModel()); err != nil {
+		return fmt.Errorf("jobspec: %w", err)
+	}
+	return nil
+}
+
+// ResolvedModel returns the model spec string the job will use,
+// applying the uniform default.
+func (m *Measure) ResolvedModel() string {
+	if m.Model == "" {
+		return "uniform"
+	}
+	return m.Model
+}
+
+// ResolvedReplays returns the measured run count, applying the
+// default.
+func (m *Measure) ResolvedReplays() int {
+	if m.Replays <= 0 {
+		return DefaultMeasureReplays
+	}
+	return m.Replays
+}
+
+// Builder resolves the spec's workload to a check.Builder.
+func (m *Measure) Builder() (check.Builder, error) {
+	return check.BuilderFor(m.Meta)
+}
+
+// Options assembles the check.Options the measurement defines.
+// Caller-side concerns — Context, Progress — are layered on by the CLI
+// or the service.
+func (m *Measure) Options() (check.Options, error) {
+	spec, err := sched.ParseModelSpec(m.ResolvedModel())
+	if err != nil {
+		return check.Options{}, fmt.Errorf("jobspec: %w", err)
+	}
+	return check.Options{
+		MaxSchedules:  m.ResolvedReplays(),
+		Parallelism:   m.Parallelism,
+		WaitFreeBound: m.Meta.WaitFreeBound,
+		RunDeadline:   time.Duration(m.RunDeadlineMS) * time.Millisecond,
+		SchedModel:    spec,
+		Measure:       true,
+	}, nil
+}
+
+// Run executes the measurement sweep.
+func (m *Measure) Run(build check.Builder, opts check.Options) *check.Result {
+	return check.Fuzz(build, m.ResolvedReplays(), opts)
 }

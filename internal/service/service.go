@@ -609,6 +609,8 @@ func (s *Service) run(j *job) {
 		workers = s.cfg.fairShare(j.spec.Check.Parallelism)
 	case jobspec.KindLint:
 		workers = s.cfg.fairShare(j.spec.Lint.Parallelism)
+	case jobspec.KindMeasure:
+		workers = s.cfg.fairShare(j.spec.Measure.Parallelism)
 	default:
 		workers = s.cfg.fairShare(j.spec.Soak.Parallelism)
 	}
@@ -624,6 +626,8 @@ func (s *Service) run(j *job) {
 		s.runCheck(j, workers)
 	case jobspec.KindLint:
 		s.runLint(j, workers)
+	case jobspec.KindMeasure:
+		s.runMeasure(j, workers)
 	default:
 		s.runSoak(j, workers)
 	}
@@ -1006,4 +1010,68 @@ func (s *Service) runLint(j *job, workers int) {
 	}
 	s.finish(j, StateDone,
 		fmt.Sprintf("clean: %d packages, %d bounded operations derived", res.Packages, len(res.Bounds.Ops)), nil)
+}
+
+// runMeasure executes a measurement job: a Measure-mode fuzz campaign
+// under the spec's scheduler model, producing a progress-distribution
+// report (check.ProgressStats) stored as the job's single artifact. A
+// measurement is an observation, not a pass/fail check: runs exceeding
+// the declared bound are counted in Violations but leave the job Done
+// — a negative control exceeding its bound is the measurement working.
+// Interruption discards progress (the distribution is only meaningful
+// over the full replay count) and the job restarts on resume, like a
+// non-durable check.
+func (s *Service) runMeasure(j *job, workers int) {
+	spec := j.spec.Measure
+	build, err := spec.Builder()
+	if err != nil {
+		s.finish(j, StateError, "builder", err)
+		return
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		s.finish(j, StateError, "options", err)
+		return
+	}
+	opts.Parallelism = workers
+	opts.Progress = func(info check.ProgressInfo) {
+		j.events.append("progress", fmt.Sprintf("%d replays, %d over bound", info.Schedules, info.Violations))
+	}
+	opts.ProgressEvery = 500
+	ctx, stop := s.watchCancel(j)
+	defer stop()
+	opts.Context = ctx
+
+	res := spec.Run(build, opts)
+	if res.Interrupted {
+		state, detail := s.interruptionState(j)
+		if state == StateInterrupted {
+			detail = "interrupted by shutdown; measurement jobs restart from scratch"
+		}
+		s.finish(j, state, detail, nil)
+		return
+	}
+	blob, err := json.MarshalIndent(res.Progress, "", "  ")
+	if err != nil {
+		s.finish(j, StateError, "encode progress report", err)
+		return
+	}
+	var keys []string
+	if !s.isKilled() {
+		key, err := s.st.PutRawArtifact(append(blob, '\n'))
+		if err != nil {
+			s.finish(j, StateError, "store artifact", err)
+			return
+		}
+		keys = append(keys, key)
+		j.events.append("artifact", key)
+	}
+	j.mu.Lock()
+	j.status.Violations = res.ViolationsTotal
+	j.status.Artifacts = keys
+	j.mu.Unlock()
+	p := res.Progress
+	s.finish(j, StateDone,
+		fmt.Sprintf("%d replays under %s: p50=%d p99=%d max=%d (%d censored, %d over bound)",
+			res.Schedules, spec.ResolvedModel(), p.P50, p.P99, p.Max, p.Censored, res.ViolationsTotal), nil)
 }

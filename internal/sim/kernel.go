@@ -278,6 +278,7 @@ func (s *System) consume(p *Process, kind yieldKind, fp mem.Footprint) {
 			if p.stmtsThisInv > p.maxInvStmts {
 				p.maxInvStmts = p.stmtsThisInv
 			}
+			p.invStmtsLog = append(p.invStmtsLog, p.stmtsThisInv)
 			p.stmtsThisInv = 0
 			p.invIndex++
 			s.observeSched(SchedEvent{Kind: SchedInvEnd, Proc: p, Step: s.steps})

@@ -111,6 +111,11 @@ type Process struct {
 	stmtsThisInv int64
 	stmtsTotal   int64
 	maxInvStmts  int64
+	// invStmtsLog records the own-statement count of every completed
+	// invocation, in order — the raw samples behind the empirical
+	// progress-bound measurement mode (check.Options.Measure). Truncated
+	// in place by reset, so pooled replays append into retained capacity.
+	invStmtsLog []int64
 
 	// lastEvent describes the statement most recently executed; written
 	// by the process while it holds the baton, read by the kernel after
@@ -180,6 +185,21 @@ func (p *Process) WorstInvStmts() int64 {
 	}
 	return p.maxInvStmts
 }
+
+// InvStmts returns the own-statement count of every invocation the
+// process completed, in program order. The returned slice is the
+// process's internal log: read-only, valid until the next Reset. These
+// are the per-invocation samples the measurement mode
+// (check.Options.Measure) aggregates into empirical progress bounds.
+func (p *Process) InvStmts() []int64 { return p.invStmtsLog }
+
+// InflightStmts returns the own-statement count of the invocation in
+// progress when the run ended (0 if the process was between
+// invocations). A nonzero value on a live process at run end is a
+// right-censored progress sample: the invocation had consumed at least
+// this many statements without completing — the signature of
+// starvation when it dwarfs the completed-invocation distribution.
+func (p *Process) InflightStmts() int64 { return p.stmtsThisInv }
 
 // Crashed reports whether the process was halted by a crash-stop fault.
 func (p *Process) Crashed() bool { return p.crashed }
@@ -314,6 +334,7 @@ func (p *Process) reset() {
 	p.stmtsThisInv = 0
 	p.stmtsTotal = 0
 	p.maxInvStmts = 0
+	p.invStmtsLog = p.invStmtsLog[:0]
 	p.lastEvent = StmtEvent{}
 	p.aborted = false
 	p.crashed = false
